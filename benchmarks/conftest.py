@@ -1,0 +1,5 @@
+"""Benchmark-suite configuration."""
+
+import logging
+
+logging.getLogger("repro").setLevel(logging.CRITICAL)

@@ -1,0 +1,43 @@
+"""E3 — checkpoint latency vs process count (Figure 1 as measurement).
+
+The ``full`` SNAPC component is centralized: one global coordinator
+fans the request to local coordinators and aggregates every local
+snapshot through FILEM at the head node.  Measured: simulated time from
+the tool's request to the global-snapshot-reference reply, versus np.
+Expected shape: grows with np (aggregation through one coordinator).
+"""
+
+from repro.bench.harness import Row, format_table, run_and_checkpoint
+
+APP_ARGS = {"loops": 80, "compute_s": 0.01}
+
+
+def measure(np_procs: int, n_nodes: int = 8) -> float:
+    universe, m = run_and_checkpoint(
+        "churn", np_procs, APP_ARGS, at=0.1, n_nodes=n_nodes
+    )
+    assert m["ok"], m["error"]
+    return m["sim_latency_s"]
+
+
+def test_e3_checkpoint_latency_vs_np(benchmark):
+    def run():
+        return {np_procs: measure(np_procs) for np_procs in (2, 4, 8, 16, 32)}
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        Row(f"np={np_procs}", {"ckpt latency (sim ms)": latency * 1e3})
+        for np_procs, latency in latencies.items()
+    ]
+    print()
+    print(
+        format_table(
+            "E3: centralized SNAPC checkpoint latency vs np",
+            ["ckpt latency (sim ms)"],
+            rows,
+        )
+    )
+    assert latencies[32] > latencies[2]
+    # Aggregation through one coordinator: latency keeps growing as the
+    # process count doubles.
+    assert latencies[32] > 1.5 * latencies[4]

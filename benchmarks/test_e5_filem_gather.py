@@ -1,0 +1,66 @@
+"""E5 — FILEM snapshot aggregation cost (paper sections 5.2, 6.2).
+
+Measured: simulated checkpoint latency versus per-rank image size, for
+the ``rsh`` component (stage on local disk, then remote-copy to stable
+storage) against the ``shared`` component (write directly to the
+shared filesystem).  Expected shape: both grow linearly with image
+size; ``rsh`` pays an extra network copy of every byte plus per-tree
+session costs, so it grows faster.
+"""
+
+from repro.bench.harness import Row, format_table, run_and_checkpoint
+
+SIZES = [1 << 16, 1 << 20, 4 << 20]
+
+
+def measure(filem: str, state_bytes: int) -> float:
+    universe, m = run_and_checkpoint(
+        "churn",
+        4,
+        {"loops": 60, "compute_s": 0.01, "state_bytes": state_bytes},
+        at=0.1,
+        n_nodes=4,
+        params={"filem": filem},
+    )
+    assert m["ok"], m["error"]
+    return m["sim_latency_s"]
+
+
+def test_e5_gather_cost_vs_image_size(benchmark):
+    def run():
+        out = {}
+        for filem in ("rsh", "shared"):
+            out[filem] = {size: measure(filem, size) for size in SIZES}
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for size in SIZES:
+        rows.append(
+            Row(
+                f"{size >> 10} KiB/rank",
+                {
+                    "rsh (sim ms)": results["rsh"][size] * 1e3,
+                    "shared (sim ms)": results["shared"][size] * 1e3,
+                    "rsh/shared": results["rsh"][size] / results["shared"][size],
+                },
+            )
+        )
+    print()
+    print(
+        format_table(
+            "E5: checkpoint latency vs image size, FILEM rsh vs shared",
+            ["rsh (sim ms)", "shared (sim ms)", "rsh/shared"],
+            rows,
+        )
+    )
+    # Both grow with size; rsh costs more at every size and its
+    # advantage gap widens with bytes moved.
+    for filem in ("rsh", "shared"):
+        assert results[filem][SIZES[-1]] > results[filem][SIZES[0]]
+    for size in SIZES:
+        assert results["rsh"][size] > results["shared"][size]
+    assert (
+        results["rsh"][SIZES[-1]] - results["shared"][SIZES[-1]]
+        > results["rsh"][SIZES[0]] - results["shared"][SIZES[0]]
+    )

@@ -1,0 +1,116 @@
+"""E6 — INC traversal (Figure 2 as an executable trace) and restart
+end-to-end time.
+
+* The INC stack traversal for a checkpoint must follow Figure 2's
+  order exactly: app/ompi/orte/opal enter top-down, exit bottom-up,
+  once for CHECKPOINT and once for CONTINUE, with the CRS in between.
+* Restart end-to-end: simulated time from the ompi-restart request to
+  the restarted job reaching RUNNING, versus image size (FILEM
+  broadcast is the size-dependent part).
+"""
+
+from repro.bench.harness import Row, format_table, fresh_universe
+from repro.tools.api import checkpoint_ref, ompi_checkpoint, ompi_restart, ompi_run
+from tests.test_pml import define_app
+
+
+def trace_inc_sequence() -> list:
+    """Run one checkpoint with INC tracing on; return the trace."""
+    universe = fresh_universe(2)
+    traces = {}
+
+    def main(ctx):
+        stack = ctx._runner.opal.inc_stack
+        stack.record_trace = True
+
+        def app_inc(state, down):
+            result = yield from down(state)
+            return result
+
+        ctx.register_inc(app_inc)
+        yield ctx.compute(seconds=0.001)
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            yield ctx.checkpoint()
+        yield from ctx.barrier()
+        traces[ctx.rank] = list(stack.trace)
+        return "ok"
+
+    define_app("bench_inc_trace", main)
+    job = ompi_run(universe, "bench_inc_trace", 2)
+    assert job.state.value == "finished"
+    return traces[0]
+
+
+def measure_restart(state_bytes: int) -> float:
+    universe = fresh_universe(4)
+    job = ompi_run(
+        universe,
+        "churn",
+        4,
+        args={"loops": 40, "compute_s": 0.01, "state_bytes": state_bytes},
+        wait=False,
+    )
+    handle = ompi_checkpoint(
+        universe, job.jobid, at=0.1, terminate=True, wait=False
+    )
+    universe.run_job_to_completion(job)
+    ref = checkpoint_ref(handle)
+    start = universe.kernel.now
+    restart_handle = ompi_restart(universe, ref, wait=False)
+    reply = restart_handle.wait()
+    assert reply["ok"], reply.get("error")
+    running_at = universe.kernel.now
+    new_job = universe.job(reply["jobid"])
+    universe.run_job_to_completion(new_job)
+    assert new_job.state.value == "finished"
+    return running_at - start
+
+
+def test_e6_inc_figure2_ordering(benchmark):
+    trace = benchmark.pedantic(trace_inc_sequence, rounds=1, iterations=1)
+    from repro.core.ft_event import FTState
+
+    def phase(state):
+        return [
+            (layer, step) for layer, step, s in trace if s == state
+        ]
+
+    ckpt = phase(FTState.CHECKPOINT)
+    cont = phase(FTState.CONTINUE)
+    expected = [
+        ("app", "enter"),
+        ("ompi", "enter"),
+        ("orte", "enter"),
+        ("opal", "enter"),
+        ("opal", "exit"),
+        ("orte", "exit"),
+        ("ompi", "exit"),
+        ("app", "exit"),
+    ]
+    assert ckpt == expected, ckpt
+    assert cont == expected, cont
+    rows = [Row(f"{layer}:{step}", {"order": i}) for i, (layer, step) in enumerate(ckpt)]
+    print()
+    print(format_table("E6a: Figure-2 INC traversal (CHECKPOINT)", ["order"], rows))
+
+
+def test_e6_restart_time_vs_image_size(benchmark):
+    def run():
+        return {size: measure_restart(size) for size in (1 << 16, 1 << 20, 4 << 20)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        Row(f"{size >> 10} KiB/rank", {"restart (sim ms)": latency * 1e3})
+        for size, latency in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            "E6b: ompi-restart end-to-end time vs image size",
+            ["restart (sim ms)"],
+            rows,
+        )
+    )
+    sizes = sorted(results)
+    assert results[sizes[-1]] > results[sizes[0]]

@@ -1,0 +1,51 @@
+"""NetPIPE on the simulated testbed: latency/bandwidth vs message size.
+
+Run:  python examples/netpipe_curves.py
+
+Reproduces the measurement instrument of the paper's section 7 on both
+of the testbed's interconnects (gigabit Ethernet and InfiniBand), and
+demonstrates the headline result: enabling the checkpoint/restart
+infrastructure leaves the modeled communication performance untouched.
+"""
+
+from repro.bench.harness import Row, format_table
+from repro.bench.netpipe_bench import CONFIGS, _run_netpipe, netpipe_simtime_series
+
+SIZES = [1 << i for i in range(0, 23, 2)]
+
+
+def main() -> None:
+    ib = netpipe_simtime_series(sizes=SIZES, reps=3)
+    eth = netpipe_simtime_series(sizes=SIZES, reps=3, btl="tcp")
+
+    rows = []
+    for (size, ib_lat, ib_bw), (_s, eth_lat, eth_bw) in zip(ib, eth):
+        rows.append(
+            Row(
+                f"{size} B",
+                {
+                    "IB lat us": ib_lat * 1e6,
+                    "IB MB/s": ib_bw / 1e6,
+                    "GigE lat us": eth_lat * 1e6,
+                    "GigE MB/s": eth_bw / 1e6,
+                },
+            )
+        )
+    print(
+        format_table(
+            "NetPIPE curves (simulated testbed)",
+            ["IB lat us", "IB MB/s", "GigE lat us", "GigE MB/s"],
+            rows,
+        )
+    )
+
+    # FT on vs off: modeled performance identical (paper: 0% overhead).
+    print("\nC/R infrastructure impact on modeled latency:")
+    for name, params in CONFIGS.items():
+        _wall, series = _run_netpipe(params, [64, 1 << 20], 3)
+        small, large = series[0][1] * 1e6, series[1][1] * 1e6
+        print(f"  {name:9s}: 64 B -> {small:8.3f} us   1 MiB -> {large:9.3f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and has no ``wheel`` package,
+so ``pip install -e .`` (PEP 660) cannot build an editable wheel.
+``python setup.py develop`` installs the same editable mapping without
+needing wheel.  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

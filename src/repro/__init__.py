@@ -1,0 +1,22 @@
+"""repro — Checkpoint/Restart Process Fault Tolerance for a simulated Open MPI.
+
+Reproduction of Hursey, Squyres, Mattox & Lumsdaine (IPPS 2007).
+
+Public API (see README for a tour):
+
+* :class:`repro.simenv.Cluster` / :class:`repro.simenv.ClusterSpec` — build a
+  simulated machine room.
+* :func:`repro.tools.ompi_run` — launch an MPI job (mpirun analogue).
+* :func:`repro.tools.ompi_checkpoint` / :func:`repro.tools.ompi_restart` —
+  asynchronous checkpoint/restart tools.
+* :mod:`repro.apps` — application kit (``AppContext``) and sample workloads.
+* :mod:`repro.core` — ft_event states, INC registration, synchronous
+  checkpoint API.
+"""
+
+__version__ = "1.0.0"
+
+from repro.simenv.cluster import Cluster, ClusterSpec
+from repro.mca.params import MCAParams
+
+__all__ = ["Cluster", "ClusterSpec", "MCAParams", "__version__"]

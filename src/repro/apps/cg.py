@@ -1,0 +1,110 @@
+"""Distributed conjugate-gradient solver (collectives-heavy workload).
+
+Solves a 1-D Laplacian system row-partitioned across ranks.  Each
+iteration performs a halo exchange (sparse mat-vec) and two global
+reductions — the dot products — making CG the canonical
+collective-latency-bound HPC kernel and a sharp test for
+checkpointing inside tight allreduce loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import app
+from repro.ompi.coll.base import SUM
+
+TAG_LO = 51
+TAG_HI = 52
+
+
+def _halo_exchange(ctx, x_local):
+    """Exchange boundary values with neighbours; returns (lo, hi)."""
+    rank, size = ctx.rank, ctx.size
+    reqs = []
+    lo = hi = 0.0
+    lo_req = hi_req = None
+    if rank > 0:
+        reqs.append((yield ctx.isend(float(x_local[0]), rank - 1, TAG_LO)))
+        lo_req = yield ctx.irecv(rank - 1, TAG_HI)
+    if rank < size - 1:
+        reqs.append((yield ctx.isend(float(x_local[-1]), rank + 1, TAG_HI)))
+        hi_req = yield ctx.irecv(rank + 1, TAG_LO)
+    if lo_req is not None:
+        result = yield ctx.wait(lo_req)
+        lo = result[0]
+    if hi_req is not None:
+        result = yield ctx.wait(hi_req)
+        hi = result[0]
+    for req in reqs:
+        yield ctx.wait(req)
+    return lo, hi
+
+
+def _apply_laplacian(ctx, x_local):
+    """y = A x for the 1-D Laplacian (2 on diag, -1 off), distributed."""
+    lo, hi = yield from _halo_exchange(ctx, x_local)
+    y = 2.0 * x_local
+    y[1:] -= x_local[:-1]
+    y[:-1] -= x_local[1:]
+    if ctx.rank > 0:
+        y[0] -= lo
+    if ctx.rank < ctx.size - 1:
+        y[-1] -= hi
+    return y
+
+
+@app("cg")
+def cg_main(ctx):
+    """args: n_global (default 512), max_iters (default 200),
+    tol (default 1e-8), checkpoint_at_iter (optional, rank 0),
+    iter_compute_s (optional: override per-iteration compute time)."""
+    n_global = int(ctx.args.get("n_global", 512))
+    max_iters = int(ctx.args.get("max_iters", 200))
+    tol = float(ctx.args.get("tol", 1e-8))
+    checkpoint_at = ctx.args.get("checkpoint_at_iter")
+    iter_compute_s = ctx.args.get("iter_compute_s")
+    rank, size = ctx.rank, ctx.size
+
+    base = n_global // size
+    extra = n_global % size
+    n_local = base + (1 if rank < extra else 0)
+
+    # b = all ones; x0 = 0.
+    b = np.ones(n_local)
+    x = np.zeros(n_local)
+    r = b.copy()
+    p = r.copy()
+    rs_old = yield from ctx.allreduce(float(r @ r), op=SUM)
+
+    iters = 0
+    for it in range(max_iters):
+        ap = yield from _apply_laplacian(ctx, p)
+        p_ap = yield from ctx.allreduce(float(p @ ap), op=SUM)
+        alpha = rs_old / p_ap
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = yield from ctx.allreduce(float(r @ r), op=SUM)
+        iters = it + 1
+        yield ctx.compute(
+            seconds=(
+                float(iter_compute_s)
+                if iter_compute_s is not None
+                else max(n_local, 1) * 4e-9
+            )
+        )
+        if checkpoint_at is not None and rank == 0 and iters == int(checkpoint_at):
+            yield ctx.checkpoint()
+        if rs_new**0.5 < tol:
+            break
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+
+    residual = rs_old**0.5 if iters == max_iters else rs_new**0.5
+    checksum = yield from ctx.allreduce(float(x.sum()), op=SUM)
+    return {
+        "rank": rank,
+        "iters": iters,
+        "residual": float(residual),
+        "checksum": float(checksum),
+    }

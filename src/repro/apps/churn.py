@@ -1,0 +1,63 @@
+"""Churn workload: a tunable stay-alive application for experiments.
+
+Loops of coarse compute chunks with optional neighbour messaging and
+optional bulk state, giving the benchmarks precise control over three
+knobs that drive checkpoint costs:
+
+* lifetime (``loops`` x ``compute_s``) — cheap in kernel events;
+* in-flight messaging rate (``msgs_per_loop``, ``payload_bytes``) —
+  drives the CRCP drain (E4);
+* image size (``state_bytes`` of per-rank NumPy ballast) — drives the
+  FILEM gather (E5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import app
+
+TAG_CHURN = 41
+
+
+@app("churn")
+def churn_main(ctx):
+    """args: loops (20), compute_s (0.01), msgs_per_loop (0),
+    payload_bytes (1024), state_bytes (0)."""
+    loops = int(ctx.args.get("loops", 20))
+    compute_s = float(ctx.args.get("compute_s", 0.01))
+    msgs_per_loop = int(ctx.args.get("msgs_per_loop", 0))
+    payload_bytes = int(ctx.args.get("payload_bytes", 1024))
+    state_bytes = int(ctx.args.get("state_bytes", 0))
+    rank, size = ctx.rank, ctx.size
+
+    ballast = np.zeros(max(state_bytes, 1), dtype=np.uint8)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    if state_bytes and size > 1:
+        # Route the ballast through a neighbour exchange so it enters
+        # the op log — i.e. the process image really carries
+        # ``state_bytes`` of data (local variables are reconstructed by
+        # replay; logged op results are stored).
+        incoming, _status = yield from ctx.sendrecv(
+            ballast, right, src=left, tag=TAG_CHURN + 1
+        )
+        ballast = incoming
+
+    received = 0
+    for loop in range(loops):
+        yield ctx.compute(seconds=compute_s)
+        ballast[loop % len(ballast)] = loop % 256
+        if msgs_per_loop and size > 1:
+            payload = np.full(payload_bytes, loop % 256, dtype=np.uint8)
+            send_reqs = []
+            for _ in range(msgs_per_loop):
+                send_reqs.append((yield ctx.isend(payload, right, TAG_CHURN)))
+            for _ in range(msgs_per_loop):
+                result = yield ctx.wait((yield ctx.irecv(left, TAG_CHURN)))
+                received += 1
+            for req in send_reqs:
+                yield ctx.wait(req)
+    checksum = int(ballast.sum())
+    return {"rank": rank, "received": received, "checksum": checksum}

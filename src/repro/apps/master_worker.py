@@ -1,0 +1,69 @@
+"""Master/worker task farm.
+
+Rank 0 hands out work units; workers compute and return results.
+Exercises ``ANY_SOURCE`` receives (the matching path wildcards) and
+unbalanced communication — the pattern under which unexpected-message
+queues actually fill up, which matters for the drained-state image.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import app
+
+TAG_WORK = 21
+TAG_RESULT = 22
+TAG_STOP = 23
+
+
+@app("master_worker")
+def master_worker_main(ctx):
+    """args: n_tasks (default 20), task_seconds (default 1e-4)."""
+    n_tasks = int(ctx.args.get("n_tasks", 20))
+    task_seconds = float(ctx.args.get("task_seconds", 1e-4))
+    rank, size = ctx.rank, ctx.size
+
+    if size == 1:
+        # Degenerate case: do everything locally.
+        total = 0
+        for task in range(n_tasks):
+            yield ctx.compute(seconds=task_seconds)
+            total += task * task
+        return {"rank": 0, "total": total, "tasks_done": n_tasks}
+
+    if rank == 0:
+        results: dict[int, int] = {}
+        next_task = 0
+        outstanding = 0
+        # Prime every worker.
+        for worker in range(1, size):
+            if next_task < n_tasks:
+                yield from ctx.send(next_task, worker, TAG_WORK)
+                next_task += 1
+                outstanding += 1
+            else:
+                yield from ctx.send(None, worker, TAG_STOP)
+        # Farm until done.
+        while outstanding:
+            (task_id, value), status = yield from ctx.recv(
+                ctx.ANY_SOURCE, TAG_RESULT
+            )
+            results[task_id] = value
+            outstanding -= 1
+            if next_task < n_tasks:
+                yield from ctx.send(next_task, status.source, TAG_WORK)
+                next_task += 1
+                outstanding += 1
+            else:
+                yield from ctx.send(None, status.source, TAG_STOP)
+        total = sum(results.values())
+        return {"rank": 0, "total": total, "tasks_done": len(results)}
+
+    done = 0
+    while True:
+        task, status = yield from ctx.recv(0)
+        if status.tag == TAG_STOP:
+            break
+        yield ctx.compute(seconds=task_seconds)
+        yield from ctx.send((task, task * task), 0, TAG_RESULT)
+        done += 1
+    return {"rank": rank, "tasks_done": done}

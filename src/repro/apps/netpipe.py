@@ -1,0 +1,55 @@
+"""NetPIPE analogue: two-rank ping-pong sweep over message sizes.
+
+The paper's evaluation instrument (section 7).  Rank 0 and rank 1
+bounce messages of increasing size; for each size we record the
+half-round-trip simulated latency and derived bandwidth.  The harness
+in :mod:`repro.bench.netpipe_bench` additionally measures *wall-clock*
+per-call cost, which is where the C/R interposition overhead (the
+paper's ~3% small-message figure) shows up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import app
+
+TAG_PING = 31
+TAG_PONG = 32
+
+#: default size sweep: 1 B .. 4 MiB in octave steps
+DEFAULT_SIZES = [1 << i for i in range(0, 23, 2)]
+
+
+@app("netpipe")
+def netpipe_main(ctx):
+    """args: sizes (list of ints), reps_per_size (default 5).
+
+    Rank 0 returns ``{"series": [(size, latency_s, bandwidth_Bps)]}``.
+    Extra ranks (size > 2) idle at the final barrier.
+    """
+    sizes = [int(s) for s in ctx.args.get("sizes", DEFAULT_SIZES)]
+    reps = int(ctx.args.get("reps_per_size", 5))
+    rank = ctx.rank
+    if ctx.size < 2:
+        raise ValueError("netpipe needs at least 2 ranks")
+
+    series: list[tuple[int, float, float]] = []
+    if rank == 0:
+        for size in sizes:
+            payload = np.zeros(size, dtype=np.uint8)
+            start = yield ctx.now()
+            for _ in range(reps):
+                yield from ctx.send(payload, 1, TAG_PING)
+                _echo, _status = yield from ctx.recv(1, TAG_PONG)
+            end = yield ctx.now()
+            half_rtt = (end - start) / (2 * reps)
+            bandwidth = size / half_rtt if half_rtt > 0 else 0.0
+            series.append((size, half_rtt, bandwidth))
+    elif rank == 1:
+        for size in sizes:
+            for _ in range(reps):
+                payload, _status = yield from ctx.recv(0, TAG_PING)
+                yield from ctx.send(payload, 0, TAG_PONG)
+    yield from ctx.barrier()
+    return {"rank": rank, "series": series}

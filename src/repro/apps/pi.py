@@ -1,0 +1,39 @@
+"""Monte-Carlo pi estimation: embarrassingly parallel + one allreduce.
+
+Exercises compute phases, the deterministic per-rank RNG (identical
+across restart replay), and reduction collectives.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import app
+from repro.ompi.coll.base import SUM
+
+
+@app("pi")
+def pi_main(ctx):
+    """args: samples_per_rank (default 10000), batches (default 4),
+    checkpoint_each_batch (bool, rank 0 checkpoints between batches)."""
+    samples = int(ctx.args.get("samples_per_rank", 10_000))
+    batches = int(ctx.args.get("batches", 4))
+    ckpt_each = bool(ctx.args.get("checkpoint_each_batch", False))
+    per_batch = max(1, samples // batches)
+
+    hits = 0
+    total = 0
+    for batch in range(batches):
+        # ~50 ns of simulated work per sample.
+        yield ctx.compute(seconds=per_batch * 50e-9)
+        for _ in range(per_batch):
+            x = ctx.rng.uniform()
+            y = ctx.rng.uniform()
+            if x * x + y * y <= 1.0:
+                hits += 1
+        total += per_batch
+        yield from ctx.barrier()
+        if ckpt_each and ctx.rank == 0 and batch < batches - 1:
+            yield ctx.checkpoint()
+    global_hits = yield from ctx.allreduce(hits, op=SUM)
+    global_total = yield from ctx.allreduce(total, op=SUM)
+    estimate = 4.0 * global_hits / global_total
+    return {"rank": ctx.rank, "pi": estimate, "samples": global_total}

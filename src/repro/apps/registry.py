@@ -1,0 +1,45 @@
+"""Application registry.
+
+Global snapshot metadata records the *name* of the application plus its
+arguments (paper section 4: restart must not require the user to
+remember how the job was started); this registry maps names back to
+main functions at restart time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.errors import RestartError
+
+_APPS: dict[str, Callable] = {}
+
+
+def app(name: str):
+    """Decorator registering an application main function."""
+
+    def register(fn: Callable) -> Callable:
+        if name in _APPS and _APPS[name] is not fn:
+            raise ValueError(f"application {name!r} already registered")
+        _APPS[name] = fn
+        return fn
+
+    return register
+
+
+def get_app(name: str) -> Callable:
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise RestartError(
+            f"unknown application {name!r} "
+            f"(registered: {', '.join(sorted(_APPS)) or 'none'})"
+        ) from None
+
+
+def has_app(name: str) -> bool:
+    return name in _APPS
+
+
+def registered_apps() -> list[str]:
+    return sorted(_APPS)

@@ -1,0 +1,45 @@
+"""Ring workload: a token circulates rank 0 → 1 → … → 0, many laps.
+
+The classic smoke test: exercises blocking point-to-point in a
+dependency chain, and (with ``checkpoint_at_lap``) a synchronous
+checkpoint mid-stream.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import app
+
+TAG_TOKEN = 7
+
+
+@app("ring")
+def ring_main(ctx):
+    """args: laps (int, default 3), payload_bytes (int, default 64),
+    checkpoint_at_lap (int, optional; rank 0 requests a checkpoint
+    after completing that lap)."""
+    laps = int(ctx.args.get("laps", 3))
+    payload_bytes = int(ctx.args.get("payload_bytes", 64))
+    checkpoint_at_lap = ctx.args.get("checkpoint_at_lap")
+    rank, size = ctx.rank, ctx.size
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    hops = 0
+    if size == 1:
+        return {"rank": rank, "hops": laps}
+    for lap in range(laps):
+        if rank == 0:
+            token = bytes([lap % 256]) * payload_bytes
+            yield from ctx.send(token, right, TAG_TOKEN)
+            token_back, _status = yield from ctx.recv(left, TAG_TOKEN)
+            assert token_back == token, "token corrupted on the ring"
+            hops += size
+            if checkpoint_at_lap is not None and lap == int(checkpoint_at_lap):
+                result = yield ctx.checkpoint()
+                yield ctx.log(f"checkpointed to {result['snapshot']}")
+        else:
+            token, _status = yield from ctx.recv(left, TAG_TOKEN)
+            yield from ctx.send(token, right, TAG_TOKEN)
+            hops += size
+    finish = yield ctx.now()
+    return {"rank": rank, "hops": hops, "finished_at": finish}

@@ -1,0 +1,31 @@
+"""Benchmark harness: experiment drivers for the paper's evaluation.
+
+One function per experiment (E1–E7, see DESIGN.md section 4); the
+``benchmarks/`` pytest-benchmark targets call these and print the
+paper-style tables.  Everything here is also importable from notebooks
+or scripts.
+"""
+
+from repro.bench.harness import (
+    Row,
+    format_table,
+    fresh_universe,
+    run_and_checkpoint,
+    timed,
+)
+from repro.bench.netpipe_bench import (
+    netpipe_bandwidth_overhead,
+    netpipe_simtime_series,
+    netpipe_wallclock_overhead,
+)
+
+__all__ = [
+    "Row",
+    "format_table",
+    "fresh_universe",
+    "run_and_checkpoint",
+    "timed",
+    "netpipe_bandwidth_overhead",
+    "netpipe_simtime_series",
+    "netpipe_wallclock_overhead",
+]

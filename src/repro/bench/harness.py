@@ -1,0 +1,106 @@
+"""Shared measurement utilities for the experiment suite."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mca.params import MCAParams
+from repro.orte.universe import Universe
+from repro.simenv.cluster import Cluster, ClusterSpec
+from repro.simenv.kernel import WaitEvent
+from repro.tools.api import ompi_checkpoint, ompi_run
+
+
+@dataclass
+class Row:
+    """One output row of an experiment table."""
+
+    label: str
+    values: dict[str, Any] = field(default_factory=dict)
+
+
+def format_table(title: str, columns: list[str], rows: list[Row]) -> str:
+    """Render a monospace table like the paper's result listings."""
+    widths = {col: len(col) for col in columns}
+    label_width = max([len("config")] + [len(r.label) for r in rows])
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.values.get(col, "")
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = [f"== {title} =="]
+    header = "config".ljust(label_width) + "  " + "  ".join(
+        col.rjust(widths[col]) for col in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells, row in zip(rendered, rows):
+        lines.append(
+            row.label.ljust(label_width)
+            + "  "
+            + "  ".join(cell.rjust(widths[col]) for cell, col in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def fresh_universe(
+    n_nodes: int = 4, params: dict | None = None, **spec_kwargs
+) -> Universe:
+    spec = ClusterSpec(n_nodes=n_nodes, **spec_kwargs)
+    return Universe(Cluster(spec), MCAParams(params or {}))
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run a closure and return (result, wall_clock_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_and_checkpoint(
+    app: str,
+    np: int,
+    app_args: dict,
+    at: float,
+    n_nodes: int = 4,
+    params: dict | None = None,
+    **ckpt_options,
+) -> tuple[Universe, dict]:
+    """Launch *app*, checkpoint it at sim-time *at*, run to completion.
+
+    Returns ``(universe, measurement)`` where the measurement carries
+    the *simulated* checkpoint latency — request departure to
+    global-snapshot-reference reply, the window Figure 1 spans.
+    """
+    universe = fresh_universe(n_nodes, params)
+    job = ompi_run(universe, app, np, args=app_args, wait=False)
+    handle = ompi_checkpoint(universe, job.jobid, at=at, wait=False, **ckpt_options)
+    finish: dict[str, float] = {}
+
+    def watch():
+        # handle.done is created when the tool thread starts (at time
+        # `at`); poll cheaply until then, then wait for the reply.
+        from repro.simenv.kernel import Delay
+
+        while handle.done is None:
+            yield Delay(1e-4)
+        yield WaitEvent(handle.done)
+        finish["t"] = universe.kernel.now
+        return None
+
+    universe.kernel.spawn(watch(), name="bench-watch", daemon=True)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    return universe, {
+        "ok": reply.get("ok", False),
+        "error": reply.get("error"),
+        "snapshot": reply.get("snapshot"),
+        "sim_latency_s": finish.get("t", float("nan")) - at,
+        "job_state": job.state.value,
+    }

@@ -1,0 +1,13 @@
+"""The paper's contribution, glued together.
+
+* :mod:`repro.core.ft_event` — the ``ft_event(state)`` protocol and the
+  checkpoint/continue/restart state machine (paper sections 5.5, 6.5).
+* :mod:`repro.core.inc` — Interlayer Notification Callback stack.
+* :mod:`repro.core.checkpoint` — the synchronous in-application
+  checkpoint API and the OPAL entry point.
+"""
+
+from repro.core.ft_event import FTState, drive_ft_event
+from repro.core.inc import INCStack
+
+__all__ = ["FTState", "drive_ft_event", "INCStack"]

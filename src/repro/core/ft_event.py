@@ -1,0 +1,52 @@
+"""The ``ft_event`` protocol (paper section 5.5).
+
+Every subsystem that must react to checkpoint/restart requests
+implements ``int ft_event(int state)``.  The state values trace the
+paper's protocol:
+
+* ``CHECKPOINT`` — a checkpoint has been requested; prepare (quiesce,
+  shut down non-checkpointable interconnects, flush).
+* ``CONTINUE`` — the checkpoint completed and the *same* process is
+  resuming normal operation.
+* ``RESTART`` — the process was just reconstructed from a snapshot on a
+  possibly different node; re-establish external state (reconnect
+  peers, re-bind endpoints).
+* ``HALT`` — the user asked for checkpoint-and-terminate; tear down.
+
+A subsystem's ``ft_event`` may be a plain function (instantaneous) or a
+generator (it needs to block, e.g. the PML draining its channels);
+:func:`drive_ft_event` normalizes both shapes for INC drivers.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from typing import Any
+
+from repro.simenv.kernel import SimGen
+
+
+class FTState(enum.IntEnum):
+    """Checkpoint/restart protocol states passed to ``ft_event``."""
+
+    CHECKPOINT = 1
+    CONTINUE = 2
+    RESTART = 3
+    HALT = 4
+
+
+def drive_ft_event(subsystem: Any, state: FTState) -> SimGen:
+    """Invoke ``subsystem.ft_event(state)``, blocking if it needs to.
+
+    Use as ``yield from drive_ft_event(comp, state)``.  Missing
+    ``ft_event`` attributes are treated as no-ops so passive objects
+    can sit in notification lists.
+    """
+    fn = getattr(subsystem, "ft_event", None)
+    if fn is None:
+        return None
+    result = fn(state)
+    if inspect.isgenerator(result):
+        result = yield from result
+    return result

@@ -1,0 +1,89 @@
+"""Interlayer Notification Callbacks (paper sections 5.5 and 6.5).
+
+An INC is a per-layer driver routine that runs its layer's
+``ft_event`` calls in the proper order.  INCs are *stacked* by a
+registration function that returns the previously registered callback;
+the newly registered INC is responsible for invoking its predecessor,
+which yields the paper's stack-like ordering and lets each INC act both
+*before* and *after* the layers below it::
+
+    prev = stack.register(my_inc)          # returns old top
+
+    def my_inc(state, down):
+        ...pre-work (full MPI still usable on CHECKPOINT)...
+        yield from down(state)             # descend the stack
+        ...post-work...
+
+Open MPI registers three INCs — one per layer (OMPI, ORTE, OPAL) — and
+an application may register a fourth on top (paper: "the application
+can be viewed as a layer existing above the MPI library").
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from repro.core.ft_event import FTState
+from repro.simenv.kernel import SimGen
+
+#: An INC takes ``(state, call_down)`` where ``call_down(state)`` is a
+#: generator invoking the previously registered INC.
+INCFunc = Callable[[FTState, Callable[[FTState], SimGen]], SimGen]
+
+
+def _bottom(_state: FTState) -> SimGen:
+    """The base of every stack: nothing below, nothing to do."""
+    return None
+    yield  # pragma: no cover - makes this a generator function
+
+
+class INCStack:
+    """The per-process INC registration point."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, INCFunc]] = []
+        #: trace of ``(layer, phase, state)`` tuples; populated when
+        #: ``record_trace`` is enabled.  The E6 experiment and the
+        #: Figure-2 reproduction read this.
+        self.trace: list[tuple[str, str, FTState]] = []
+        self.record_trace = False
+
+    def register(self, name: str, inc: INCFunc) -> Callable[[FTState], SimGen]:
+        """Push *inc* on the stack; returns the previous top as a
+        callable the new INC must invoke (paper: "it is the newly
+        registered INC's responsibility to call the previous INC")."""
+        previous = self._as_callable(len(self._entries))
+        self._entries.append((name, inc))
+        return previous
+
+    def _as_callable(self, depth: int) -> Callable[[FTState], SimGen]:
+        """Build the call-down entry for the stack below *depth*."""
+
+        def call_down(state: FTState) -> SimGen:
+            if depth == 0:
+                yield from _bottom(state)
+                return None
+            name, inc = self._entries[depth - 1]
+            if self.record_trace:
+                self.trace.append((name, "enter", state))
+            below = self._as_callable(depth - 1)
+            result = inc(state, below)
+            if inspect.isgenerator(result):
+                result = yield from result
+            if self.record_trace:
+                self.trace.append((name, "exit", state))
+            return result
+
+        return call_down
+
+    @property
+    def layers(self) -> list[str]:
+        """Registered layer names, bottom first."""
+        return [name for name, _ in self._entries]
+
+    def invoke(self, state: FTState) -> SimGen:
+        """Run the whole stack top-down for *state*."""
+        top = self._as_callable(len(self._entries))
+        result = yield from top(state)
+        return result

@@ -1,0 +1,25 @@
+"""Modular Component Architecture (MCA).
+
+The MCA is Open MPI's plugin system: internal APIs are defined as
+*frameworks* (e.g. the process-launch framework), each framework holds
+one or more *components* (specific implementations, e.g. SLURM and RSH
+launchers), and components are selected at run time — optionally forced
+by *MCA parameters* (the ``--mca key value`` command-line knobs).
+
+This reproduction uses the same structure for every framework in the
+paper: ``opal.crs``, ``orte.snapc``, ``orte.filem``, ``orte.plm``,
+``ompi.pml``, ``ompi.btl``, ``ompi.crcp``, ``ompi.coll``.
+"""
+
+from repro.mca.component import Component, component_of
+from repro.mca.framework import Framework
+from repro.mca.params import MCAParams
+from repro.mca.registry import FrameworkRegistry
+
+__all__ = [
+    "Component",
+    "component_of",
+    "Framework",
+    "MCAParams",
+    "FrameworkRegistry",
+]

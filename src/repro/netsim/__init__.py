@@ -1,0 +1,28 @@
+"""Network substrate: fabrics, NICs, link cost models, transport.
+
+Models the paper's testbed interconnects — gigabit Ethernet and
+InfiniBand — as switched *fabrics*.  Every node gets one NIC per
+fabric; a reliable, in-order datagram transport delivers messages
+between ``(node, port)`` endpoints with simulated latency and
+sender-NIC bandwidth serialization.
+
+The InfiniBand fabric is flagged *non-checkpointable*: its endpoints
+hold state outside the process image, so the PML's ``ft_event`` must
+shut such BTLs down before a checkpoint and reconnect on restart
+(paper section 6.3).
+"""
+
+from repro.netsim.models import LinkModel, ethernet_1g, infiniband, loopback
+from repro.netsim.nic import NIC
+from repro.netsim.transport import Datagram, Endpoint, Fabric
+
+__all__ = [
+    "LinkModel",
+    "ethernet_1g",
+    "infiniband",
+    "loopback",
+    "NIC",
+    "Datagram",
+    "Endpoint",
+    "Fabric",
+]

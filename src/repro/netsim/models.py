@@ -1,0 +1,79 @@
+"""Link cost models.
+
+A :class:`LinkModel` turns a message size into transmission and
+propagation costs.  Parameters approximate the paper's testbed
+(section 7): gigabit Ethernet and InfiniBand between dual-Opteron
+nodes.  Absolute values are not the point — the *ratios* (IB an order
+of magnitude lower latency and ~8x the bandwidth of GigE) drive the
+shapes of the NetPIPE curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Cost model for one fabric.
+
+    ``transmit_time`` is the time the sender NIC is busy serializing
+    the message; ``latency`` is switch+wire propagation added after
+    serialization.  ``per_msg_overhead`` models fixed protocol costs
+    (header processing, DMA setup).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+    per_msg_overhead_s: float = 0.0
+    #: Whether endpoint state survives inside a process image.  False
+    #: for RDMA-style fabrics whose HCA state lives outside the
+    #: process; the PML shuts these down around checkpoints.
+    checkpointable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+
+    def transmit_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.per_msg_overhead_s + nbytes / self.bandwidth_Bps
+
+    def transfer_time(self, nbytes: int) -> float:
+        """End-to-end time for one unqueued message."""
+        return self.transmit_time(nbytes) + self.latency_s
+
+
+def ethernet_1g() -> LinkModel:
+    """Gigabit Ethernet: ~50 us latency, 125 MB/s."""
+    return LinkModel(
+        name="eth",
+        latency_s=50e-6,
+        bandwidth_Bps=125e6,
+        per_msg_overhead_s=2e-6,
+        checkpointable=True,
+    )
+
+
+def infiniband() -> LinkModel:
+    """4x SDR InfiniBand: ~5 us latency, ~1 GB/s, non-checkpointable."""
+    return LinkModel(
+        name="ib",
+        latency_s=5e-6,
+        bandwidth_Bps=1e9,
+        per_msg_overhead_s=0.5e-6,
+        checkpointable=False,
+    )
+
+
+def loopback() -> LinkModel:
+    """Same-node transfers (shared memory copy)."""
+    return LinkModel(
+        name="lo",
+        latency_s=0.5e-6,
+        bandwidth_Bps=4e9,
+        per_msg_overhead_s=0.1e-6,
+        checkpointable=True,
+    )

@@ -1,0 +1,65 @@
+"""Per-node network interface with transmit serialization.
+
+A NIC can only serialize one message at a time: concurrent senders on
+the same node queue behind each other, which is what makes large-
+message bandwidth a real resource in the simulation (and lets the
+FILEM gather experiments show congestion effects).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.models import LinkModel
+from repro.util.errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+    from repro.simenv.node import Node
+
+
+class NIC:
+    """One interface of one node on one fabric."""
+
+    def __init__(self, node: "Node", model: LinkModel):
+        self.node = node
+        self.kernel: "Kernel" = node.kernel
+        self.model = model
+        self.up = True
+        #: simulated time at which the transmit side becomes free
+        self._tx_free_at = 0.0
+        #: counters for diagnostics / tests
+        self.tx_msgs = 0
+        self.tx_bytes = 0
+        self.rx_msgs = 0
+        self.rx_bytes = 0
+
+    @property
+    def addr(self) -> str:
+        return self.node.name
+
+    def reserve_tx(self, nbytes: int) -> float:
+        """Reserve the transmitter for a message of *nbytes*.
+
+        Returns the delay the caller must wait (queueing + transmit
+        serialization) before the message is on the wire.
+        """
+        if not self.up or not self.node.up:
+            raise NetworkError(f"NIC {self.addr}/{self.model.name} is down")
+        now = self.kernel.now
+        start = max(now, self._tx_free_at)
+        tx = self.model.transmit_time(nbytes)
+        self._tx_free_at = start + tx
+        self.tx_msgs += 1
+        self.tx_bytes += nbytes
+        return (start - now) + tx
+
+    def note_rx(self, nbytes: int) -> None:
+        self.rx_msgs += 1
+        self.rx_bytes += nbytes
+
+    def down(self) -> None:
+        self.up = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NIC {self.addr}/{self.model.name} {'up' if self.up else 'down'}>"

@@ -1,0 +1,165 @@
+"""Reliable, in-order datagram transport over a switched fabric.
+
+Endpoints are ``(node_name, port)`` pairs.  ``Fabric.send`` is a
+blocking (generator) operation modelling sender-side serialization;
+delivery happens ``latency`` later into the destination endpoint's
+mailbox.  In-order delivery between any endpoint pair is guaranteed by
+construction (single event queue + per-NIC serialization + fixed
+latency).
+
+In-flight accounting (``in_flight``) exists for tests and for the
+fabric-level drain assertions in the CRCP experiments: the MPI-level
+bookmark protocol must leave the fabric empty between any pair of
+coordinated processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.netsim.models import LinkModel
+from repro.netsim.nic import NIC
+from repro.simenv.kernel import Delay, Queue, SimGen
+from repro.util.errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+    from repro.simenv.node import Node
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """Address of a transport mailbox."""
+
+    node: str
+    port: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.node}:{self.port}"
+
+
+@dataclass
+class Datagram:
+    """One message on the wire."""
+
+    src: Endpoint
+    dst: Endpoint
+    payload: Any
+    nbytes: int
+    fabric: str = ""
+    send_time: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+class Fabric:
+    """A switched network connecting every attached node."""
+
+    def __init__(self, kernel: "Kernel", model: LinkModel):
+        self.kernel = kernel
+        self.model = model
+        self.name = model.name
+        self.nics: dict[str, NIC] = {}
+        self._mailboxes: dict[Endpoint, Queue] = {}
+        self.in_flight = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def attach(self, node: "Node") -> NIC:
+        if node.name in self.nics:
+            raise NetworkError(f"{node.name} already attached to {self.name}")
+        nic = NIC(node, self.model)
+        self.nics[node.name] = nic
+        node.nics[self.name] = nic
+        return nic
+
+    def has_node(self, node_name: str) -> bool:
+        return node_name in self.nics
+
+    # -- endpoints ----------------------------------------------------------
+
+    def bind(self, node_name: str, port: str) -> Endpoint:
+        if node_name not in self.nics:
+            raise NetworkError(f"node {node_name} not on fabric {self.name}")
+        ep = Endpoint(node_name, port)
+        if ep in self._mailboxes:
+            raise NetworkError(f"endpoint {ep} already bound on {self.name}")
+        self._mailboxes[ep] = self.kernel.queue(f"{self.name}:{ep}")
+        return ep
+
+    def unbind(self, ep: Endpoint) -> None:
+        self._mailboxes.pop(ep, None)
+
+    def is_bound(self, ep: Endpoint) -> bool:
+        return ep in self._mailboxes
+
+    # -- data path ----------------------------------------------------------
+
+    def send(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Any,
+        nbytes: int,
+        meta: dict | None = None,
+    ) -> SimGen:
+        """Blocking send: returns once the message is serialized onto
+        the wire (not once delivered) — eager-protocol semantics."""
+        nic = self.nics.get(src.node)
+        if nic is None:
+            raise NetworkError(f"node {src.node} not on fabric {self.name}")
+        dgram = Datagram(
+            src=src,
+            dst=dst,
+            payload=payload,
+            nbytes=nbytes,
+            fabric=self.name,
+            send_time=self.kernel.now,
+            meta=dict(meta or {}),
+        )
+        delay = nic.reserve_tx(nbytes)
+        self.in_flight += 1
+        yield Delay(delay)
+        self.kernel.call_later(self.model.latency_s, lambda: self._deliver(dgram))
+        return dgram
+
+    def _deliver(self, dgram: Datagram) -> None:
+        self.in_flight -= 1
+        dst_nic = self.nics.get(dgram.dst.node)
+        if dst_nic is None or not dst_nic.up or not dst_nic.node.up:
+            self.dropped += 1
+            return
+        mailbox = self._mailboxes.get(dgram.dst)
+        if mailbox is None:
+            self.dropped += 1
+            return
+        dst_nic.note_rx(dgram.nbytes)
+        self.delivered += 1
+        mailbox.put(dgram)
+
+    def recv(self, ep: Endpoint) -> SimGen:
+        """Blocking receive from the endpoint's mailbox."""
+        mailbox = self._mailboxes.get(ep)
+        if mailbox is None:
+            raise NetworkError(f"endpoint {ep} not bound on {self.name}")
+        dgram = yield from mailbox.get()
+        return dgram
+
+    def try_recv(self, ep: Endpoint) -> tuple[bool, Datagram | None]:
+        mailbox = self._mailboxes.get(ep)
+        if mailbox is None:
+            raise NetworkError(f"endpoint {ep} not bound on {self.name}")
+        ok, dgram = mailbox.try_get()
+        return ok, dgram
+
+    def pending(self, ep: Endpoint) -> int:
+        mailbox = self._mailboxes.get(ep)
+        return len(mailbox) if mailbox is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Fabric {self.name} nodes={len(self.nics)} "
+            f"inflight={self.in_flight}>"
+        )

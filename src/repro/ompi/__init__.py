@@ -1,0 +1,14 @@
+"""OMPI — the MPI layer.
+
+Point-to-point messaging (PML framework, ``ob1`` component with eager
+and rendezvous protocols over interchangeable BTLs), collectives
+layered over point-to-point (paper section 3.1), communicators/groups,
+and the checkpoint/restart coordination protocol framework (**CRCP**,
+section 6.3) interposed through a wrapper PML.
+"""
+
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+from repro.ompi.communicator import Communicator
+from repro.ompi.status import Status
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "Status"]

@@ -1,0 +1,24 @@
+"""BTL — byte transfer layer framework.
+
+BTLs move PML messages over one fabric each: ``tcp`` (Ethernet,
+checkpointable), ``ib`` (InfiniBand — *not* checkpointable: its
+endpoint state lives outside the process image, so the PML's
+``ft_event`` shuts it down before checkpoints and reconnects after,
+per paper section 6.3), and ``sm`` (same-node shared memory).
+
+Unlike single-selection frameworks, every available BTL opens and the
+PML picks per peer by priority and reachability.
+"""
+
+from repro.ompi.btl.base import BTLComponent, register_btl_components
+from repro.ompi.btl.ib import IbBTL
+from repro.ompi.btl.sm import SmBTL
+from repro.ompi.btl.tcp import TcpBTL
+
+__all__ = [
+    "BTLComponent",
+    "register_btl_components",
+    "IbBTL",
+    "SmBTL",
+    "TcpBTL",
+]

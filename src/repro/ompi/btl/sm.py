@@ -1,0 +1,18 @@
+"""``sm`` BTL: same-node shared-memory transport."""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.ompi.btl.base import BTLComponent
+
+
+@component_of("btl", "sm", priority=40)
+class SmBTL(BTLComponent):
+    fabric_name = "lo"
+    checkpointable = True
+
+    def reaches(self, my_node: str, peer_card: dict) -> bool:
+        return (
+            peer_card.get("node") == my_node
+            and self.name in peer_card.get("ports", {})
+        )

@@ -1,0 +1,17 @@
+"""``tcp`` BTL: Ethernet transport; checkpointable.
+
+Socket state is process-local in the simulation (the endpoint binding
+survives a checkpoint on the same process), so this BTL stays open
+across checkpoints — matching LAM/MPI's and Open MPI's TCP support.
+"""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.ompi.btl.base import BTLComponent
+
+
+@component_of("btl", "tcp", priority=20)
+class TcpBTL(BTLComponent):
+    fabric_name = "eth"
+    checkpointable = True

@@ -1,0 +1,30 @@
+"""COLL — collective operations framework.
+
+Per paper section 3.1, this first implementation supports "MPI
+collective routines when internally layered over point-to-point
+communication": every algorithm decomposes into the same isend/irecv/
+wait primitives the PML exposes, which is also what makes collectives
+checkpoint-safe — a checkpoint landing mid-collective is just a
+checkpoint between point-to-point messages, and the record-replay
+image resumes the algorithm exactly where it stopped.
+"""
+
+from repro.ompi.coll.base import (
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CollComponent,
+    register_coll_components,
+)
+from repro.ompi.coll.basic import BasicColl
+
+__all__ = [
+    "MAX",
+    "MIN",
+    "PROD",
+    "SUM",
+    "CollComponent",
+    "register_coll_components",
+    "BasicColl",
+]

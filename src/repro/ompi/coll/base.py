@@ -1,0 +1,110 @@
+"""COLL framework base: reduction operators and the component API.
+
+Collective algorithms are generator functions that *yield*
+:class:`repro.ompi.ops.MPIOp` descriptors and are driven either by the
+application runner (checkpointable path) or by
+:func:`repro.ompi.ops.drive_ops` (library-internal path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.mca.component import Component
+from repro.util.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+
+# -- reduction operators -------------------------------------------------------
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+#: Built-in reduction operators (commutative + associative).
+SUM: Callable[[Any, Any], Any] = _sum
+PROD: Callable[[Any, Any], Any] = _prod
+MAX: Callable[[Any, Any], Any] = _max
+MIN: Callable[[Any, Any], Any] = _min
+
+#: tag space reserved for collective traffic (app tags must stay below)
+COLL_TAG_BASE = 2**29
+TAG_BARRIER = COLL_TAG_BASE + 1
+TAG_BCAST = COLL_TAG_BASE + 2
+TAG_REDUCE = COLL_TAG_BASE + 3
+TAG_GATHER = COLL_TAG_BASE + 4
+TAG_SCATTER = COLL_TAG_BASE + 5
+TAG_ALLGATHER = COLL_TAG_BASE + 6
+TAG_ALLTOALL = COLL_TAG_BASE + 7
+TAG_SCAN = COLL_TAG_BASE + 8
+TAG_CID = COLL_TAG_BASE + 9
+
+
+def check_app_tag(tag: int) -> int:
+    """Validate a user-supplied tag (collective tag space is reserved)."""
+    if not isinstance(tag, int) or tag < 0 or tag >= COLL_TAG_BASE:
+        raise MPIError(f"application tags must be in [0, {COLL_TAG_BASE}), got {tag}")
+    return tag
+
+
+class CollComponent(Component):
+    """Base class of collective components.
+
+    Every method is a generator function yielding MPI ops; each
+    returns the collective's local result.
+    """
+
+    framework_name = "coll"
+
+    def barrier(self, comm):
+        raise NotImplementedError
+
+    def bcast(self, comm, value, root=0):
+        raise NotImplementedError
+
+    def reduce(self, comm, value, op=SUM, root=0):
+        raise NotImplementedError
+
+    def allreduce(self, comm, value, op=SUM):
+        raise NotImplementedError
+
+    def gather(self, comm, value, root=0):
+        raise NotImplementedError
+
+    def scatter(self, comm, values, root=0):
+        raise NotImplementedError
+
+    def allgather(self, comm, value):
+        raise NotImplementedError
+
+    def alltoall(self, comm, values):
+        raise NotImplementedError
+
+    def scan(self, comm, value, op=SUM):
+        raise NotImplementedError
+
+
+def register_coll_components(registry: "FrameworkRegistry") -> None:
+    from repro.ompi.coll.basic import BasicColl
+
+    registry.add_component("coll", BasicColl)

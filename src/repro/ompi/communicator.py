@@ -1,0 +1,48 @@
+"""Communicators.
+
+A communicator is a (cid, group, my-rank) triple.  Context ids are
+allocated by a per-process counter; because communicator construction
+is collective and our execution is deterministic, all members allocate
+the same cid in the same order (the allocation is additionally verified
+by an allreduce in the ``comm_dup``/``comm_split`` helpers).
+
+PML messages carry ``(cid, src_rank_in_comm, tag)``; the communicator
+translates comm ranks to world ranks for BTL addressing.
+"""
+
+from __future__ import annotations
+
+from repro.ompi.group import Group
+from repro.util.errors import MPIError
+
+
+class Communicator:
+    """One process's view of a communicator."""
+
+    def __init__(self, cid: int, group: Group, my_world_rank: int):
+        self.cid = cid
+        self.group = group
+        self.my_world_rank = my_world_rank
+        rank = group.group_rank(my_world_rank)
+        if rank < 0:
+            raise MPIError(
+                f"world rank {my_world_rank} is not in communicator {cid}"
+            )
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def world_rank(self, comm_rank: int) -> int:
+        return self.group.world_rank(comm_rank)
+
+    def comm_rank(self, world_rank: int) -> int:
+        return self.group.group_rank(world_rank)
+
+    def peer_ranks(self) -> list[int]:
+        """All comm ranks except mine."""
+        return [r for r in range(self.size) if r != self.rank]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Comm cid={self.cid} rank={self.rank}/{self.size}>"

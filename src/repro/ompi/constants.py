@@ -1,0 +1,17 @@
+"""MPI constants."""
+
+from __future__ import annotations
+
+#: wildcard source rank for receives
+ANY_SOURCE = -1
+#: wildcard tag for receives
+ANY_TAG = -1
+
+#: communicator id of MPI_COMM_WORLD
+CID_WORLD = 0
+
+#: fixed per-message header overhead on the wire (bytes)
+MSG_HEADER_BYTES = 64
+
+#: largest user tag (system tags are negative, below ANY_TAG)
+TAG_UB = 2**30

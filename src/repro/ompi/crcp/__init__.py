@@ -1,0 +1,26 @@
+"""CRCP — Checkpoint/Restart Coordination Protocol framework.
+
+Paper section 6.3: each component implements one distributed
+coordination protocol; components see every message through a wrapper
+PML, so researchers can swap protocols at run time with everything else
+constant.  Shipped components:
+
+* ``coord`` — the LAM/MPI-like coordinated bookmark-exchange protocol
+  (operating on whole messages, the paper's refinement);
+* ``none`` — a passthrough that interposes but does nothing, used to
+  measure the interposition overhead itself (the paper's NetPIPE
+  experiment).
+"""
+
+from repro.ompi.crcp.base import CRCPComponent, register_crcp_components
+from repro.ompi.crcp.coord import CoordCRCP
+from repro.ompi.crcp.none_crcp import NoneCRCP
+from repro.ompi.crcp.wrapper import CRCPWrapperPML
+
+__all__ = [
+    "CRCPComponent",
+    "register_crcp_components",
+    "CoordCRCP",
+    "NoneCRCP",
+    "CRCPWrapperPML",
+]

@@ -1,0 +1,97 @@
+"""CRCP framework base.
+
+A CRCP component receives two kinds of control:
+
+* *message hooks*, invoked by the wrapper PML around every send and on
+  every payload delivery (the paper: components are "allowed to watch
+  the network traffic as it moves through the system and take
+  necessary actions");
+* *coordination entry points*, invoked from the OMPI INC before any
+  other MPI subsystem is notified (section 5.3's ordering requirement):
+  ``coordinate`` at CHECKPOINT, ``resume`` at CONTINUE/RESTART.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import Component
+from repro.simenv.kernel import SimGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+    from repro.ompi.layer import OmpiLayer
+
+
+class CRCPComponent(Component):
+    """Base class of coordination-protocol components."""
+
+    framework_name = "crcp"
+    image_key = "ompi.crcp"
+
+    def setup(self, ompi: "OmpiLayer") -> None:
+        self.ompi = ompi
+
+    # -- message hooks (hot path) ---------------------------------------------
+    #
+    # The hot path is split in two for the wrapper's benefit: a cheap
+    # plain-function pair (``note_send``/``after_send``) invoked on
+    # every message, and a blocking generator (``gate_wait``) entered
+    # only when ``gate_active`` is set — so failure-free operation pays
+    # function-call overhead only, like Open MPI's wrapper.
+
+    #: True while a checkpoint gate should block new sends.
+    gate_active = False
+
+    def gate_wait(self) -> SimGen:
+        """Block until the checkpoint gate lifts (rare path)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def note_send(self, dst_world: int) -> None:
+        """Account an initiated send (hot path, must be cheap)."""
+        raise NotImplementedError
+
+    def after_send(self, dst_world: int) -> None:
+        """Called after a send initiates."""
+        raise NotImplementedError
+
+    def before_recv_post(self, src_world: int) -> None:
+        """Called when a receive is posted."""
+        raise NotImplementedError
+
+    def on_delivered(self, src_world: int) -> None:
+        """Called when a payload lands in the matching engine."""
+        raise NotImplementedError
+
+    # -- coordination ------------------------------------------------------------
+
+    def coordinate(self) -> SimGen:
+        """Bring the job's channels to a consistent, empty state."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def resume(self, restarting: bool) -> None:
+        """Lift the checkpoint gate after CONTINUE or RESTART."""
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        """Abandon an in-flight coordination.  Default: nothing to do."""
+
+    # -- image ------------------------------------------------------------------
+
+    def capture_image_state(self, crs_name: str):
+        return None
+
+    def restore_image_state(self, state) -> None:
+        pass
+
+
+def register_crcp_components(registry: "FrameworkRegistry") -> None:
+    from repro.ompi.crcp.coord import CoordCRCP
+    from repro.ompi.crcp.none_crcp import NoneCRCP
+    from repro.ompi.crcp.twophase import TwoPhaseCRCP
+
+    registry.add_component("crcp", CoordCRCP)
+    registry.add_component("crcp", NoneCRCP)
+    registry.add_component("crcp", TwoPhaseCRCP)

@@ -1,0 +1,188 @@
+"""``coord`` — LAM/MPI-like coordinated checkpoint/restart protocol.
+
+The protocol (paper section 6.3, after [19]) makes the global snapshot
+consistent by emptying every channel:
+
+1. **Gate** — new application sends block at the wrapper's
+   ``before_send`` hook (in-flight sends keep progressing).
+2. **Bookmark exchange** — every process tells every peer how many
+   messages it has initiated toward them (cumulative, *whole messages*
+   rather than bytes — this paper's refinement over LAM/MPI).
+3. **Drain** — receive until the per-peer delivered count reaches the
+   peer's bookmark; unmatched rendezvous RTS fragments are CTSed so
+   their payloads land in the unexpected queue ("outstanding messages
+   are posted by the receiving peer").
+4. **Quiesce** — wait for the process's own in-flight sends to finish
+   serializing.
+
+After this, the channels are empty: everything counted is buffered in
+some process's image.  ``resume`` lifts the gate on CONTINUE/RESTART.
+
+Bookmarks travel over the OOB control plane (RML), not the MPI data
+path, so the exchange itself never perturbs the counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import component_of
+from repro.ompi.crcp.base import CRCPComponent
+from repro.orte.oob import TAG_CRCP_BOOKMARK
+from repro.simenv.kernel import SimEvent, SimGen, WaitEvent
+from repro.util.errors import CheckpointError
+from repro.util.ids import ProcessName
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+log = get_logger("ompi.crcp.coord")
+
+
+@component_of("crcp", "coord", priority=10)
+class CoordCRCP(CRCPComponent):
+    def setup(self, ompi) -> None:
+        super().setup(ompi)
+        #: cumulative messages initiated toward each world rank
+        self.sent_count: dict[int, int] = {}
+        #: cumulative payloads delivered from each world rank
+        self.recvd_count: dict[int, int] = {}
+        self.gate_active = False
+        self.aborted = False
+        self._gate_event: SimEvent | None = None
+        self._delivery_event: SimEvent | None = None
+        #: statistics for the drain-cost experiment (E4)
+        self.stats = {"coordinations": 0, "drained_msgs": 0, "aborts": 0}
+
+    # -- hot-path hooks -----------------------------------------------------------
+
+    def gate_wait(self) -> SimGen:
+        while self.gate_active:
+            if self._gate_event is None:
+                self._gate_event = self.ompi.kernel.event("crcp-gate")
+            yield WaitEvent(self._gate_event)
+        return None
+
+    def note_send(self, dst_world: int) -> None:
+        # Called with the gate known-inactive; the increment is atomic
+        # with the gate check (single-threaded kernel, no yield between).
+        self.sent_count[dst_world] = self.sent_count.get(dst_world, 0) + 1
+
+    def after_send(self, dst_world: int) -> None:
+        pass
+
+    def before_recv_post(self, src_world: int) -> None:
+        pass
+
+    def on_delivered(self, src_world: int) -> None:
+        self.recvd_count[src_world] = self.recvd_count.get(src_world, 0) + 1
+        if self._delivery_event is not None:
+            event, self._delivery_event = self._delivery_event, None
+            if not event.fired:
+                event.fire(None)
+
+    # -- coordination --------------------------------------------------------------
+
+    def coordinate(self) -> SimGen:
+        ompi = self.ompi
+        self.stats["coordinations"] += 1
+        self.gate_active = True
+        self.aborted = False
+        comm = ompi.comm_world
+        me = comm.rank
+        peers = comm.peer_ranks()
+        if peers:
+            rml = ompi.rml
+            jobid = ompi.proc.name.jobid
+            for peer in peers:
+                world = comm.world_rank(peer)
+                yield from rml.send(
+                    ProcessName(jobid, world),
+                    TAG_CRCP_BOOKMARK,
+                    {
+                        "from_world": comm.world_rank(me),
+                        "sent_to_you": self.sent_count.get(world, 0),
+                    },
+                )
+            expected: dict[int, int] = {}
+            while len(expected) < len(peers):
+                _, payload = yield from rml.recv(TAG_CRCP_BOOKMARK)
+                if self.aborted:
+                    self._abort_cleanup()
+                # Poison wakeups from a stale abort carry no bookmark.
+                if "from_world" in payload:
+                    expected[payload["from_world"]] = payload["sent_to_you"]
+
+            # Drain until every peer's bookmark is met.
+            pml = ompi.pml_base
+            pml.enter_drain()
+            drained_at_start = sum(self.recvd_count.values())
+            while any(
+                self.recvd_count.get(world, 0) < count
+                for world, count in expected.items()
+            ):
+                if self._delivery_event is None:
+                    self._delivery_event = ompi.kernel.event("crcp-drain")
+                yield WaitEvent(self._delivery_event)
+                if self.aborted:
+                    self._abort_cleanup()
+            pml.leave_drain()
+            self.stats["drained_msgs"] += (
+                sum(self.recvd_count.values()) - drained_at_start
+            )
+
+        # Our own in-flight sends must be fully on the wire — and by
+        # the symmetric argument, delivered — before the image is cut.
+        yield from ompi.pml_base.quiesce_sends()
+        if self.aborted:
+            self._abort_cleanup()
+        log.debug("%s coordinated (drained)", ompi.proc.label)
+        return None
+
+    def abort(self) -> None:
+        """Abandon an in-flight coordination (another process vetoed).
+
+        Safe to call from outside the coordinating thread: flags the
+        abort, pokes both wait points, and lifts the gate so blocked
+        application sends resume.
+        """
+        if not self.gate_active:
+            return
+        self.aborted = True
+        self.stats["aborts"] += 1
+        # Poke the bookmark-collection loop with a poison message.
+        self.ompi.rml._queue(TAG_CRCP_BOOKMARK).put((None, {"abort": True}))
+        # Poke the drain loop.
+        if self._delivery_event is not None:
+            event, self._delivery_event = self._delivery_event, None
+            if not event.fired:
+                event.fire(None)
+
+    def _abort_cleanup(self) -> None:
+        self.ompi.pml_base.leave_drain()
+        self.resume(False)
+        raise CheckpointError(
+            f"{self.ompi.proc.label}: checkpoint coordination aborted"
+        )
+
+    def resume(self, restarting: bool) -> None:
+        self.gate_active = False
+        if self._gate_event is not None:
+            event, self._gate_event = self._gate_event, None
+            if not event.fired:
+                event.fire(None)
+
+    # -- image ------------------------------------------------------------------
+
+    def capture_image_state(self, crs_name: str):
+        if self.gate_active is False:
+            raise CheckpointError("CRCP image captured outside coordination")
+        return {
+            "sent": dict(self.sent_count),
+            "recvd": dict(self.recvd_count),
+        }
+
+    def restore_image_state(self, state) -> None:
+        self.sent_count = {int(k): v for k, v in state["sent"].items()}
+        self.recvd_count = {int(k): v for k, v in state["recvd"].items()}

@@ -1,0 +1,45 @@
+"""``none`` — passthrough CRCP component.
+
+All hooks are empty but still *called*, so an FT-enabled build with
+``crcp=none`` pays exactly the interposition overhead and nothing else
+— the configuration the paper's NetPIPE comparison measures
+("passthrough components").  Checkpoints are refused: without
+coordination a global snapshot would capture in-flight messages
+nowhere.
+"""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.ompi.crcp.base import CRCPComponent
+from repro.ompi.pml.base import nothing
+from repro.simenv.kernel import SimGen
+from repro.util.errors import CheckpointError
+
+
+@component_of("crcp", "none", priority=0)
+class NoneCRCP(CRCPComponent):
+    def gate_wait(self) -> SimGen:
+        yield from nothing()
+        return None
+
+    def note_send(self, dst_world: int) -> None:
+        pass
+
+    def after_send(self, dst_world: int) -> None:
+        pass
+
+    def before_recv_post(self, src_world: int) -> None:
+        pass
+
+    def on_delivered(self, src_world: int) -> None:
+        pass
+
+    def coordinate(self) -> SimGen:
+        raise CheckpointError(
+            "crcp=none cannot produce a consistent global snapshot"
+        )
+        yield  # pragma: no cover
+
+    def resume(self, restarting: bool) -> None:
+        pass

@@ -1,0 +1,198 @@
+"""``twophase`` — an alternative coordination protocol.
+
+The point of the CRCP framework (paper §6.3) is that researchers can
+drop in a different coordination technique and compare it against
+``coord`` with everything else constant.  This component is that
+demonstration: instead of the LAM/MPI-like *all-to-all bookmark
+exchange* (O(n²) control messages, one round), it runs *centralized
+quiescence detection* — world rank 0 aggregates global counters over
+O(n) control messages per round, repeating until the channels are
+provably empty:
+
+1. **Gate** new sends (same as ``coord``).
+2. Each process quiesces its own in-flight sends, enters drain mode
+   (forced CTS for unmatched rendezvous), and reports its cumulative
+   ``(sent_total, recvd_total)`` to the root.
+3. The root declares quiescence when ``Σ sent == Σ recvd`` for two
+   consecutive rounds with no count movement, else orders another
+   round.
+
+Trade-off vs ``coord``: fewer control messages per round on large jobs,
+but at least two aggregation rounds of latency, and the root is a
+serialization point.  The E4/E8 benchmarks can put numbers on that —
+with one ``--mca crcp twophase`` flag and nothing else changed.
+"""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.ompi.crcp.base import CRCPComponent
+from repro.simenv.kernel import Delay, SimEvent, SimGen, WaitEvent
+from repro.util.errors import CheckpointError
+from repro.util.ids import ProcessName
+from repro.util.logging import get_logger
+
+log = get_logger("ompi.crcp.twophase")
+
+TAG_ROUND_REPORT = "crcp.tp.report"   # member -> root: (sent, recvd)
+TAG_ROUND_VERDICT = "crcp.tp.verdict" # root -> member: {"done": bool}
+
+
+@component_of("crcp", "twophase", priority=5)
+class TwoPhaseCRCP(CRCPComponent):
+    def setup(self, ompi) -> None:
+        super().setup(ompi)
+        self.sent_count: dict[int, int] = {}
+        self.recvd_count: dict[int, int] = {}
+        self.gate_active = False
+        self.aborted = False
+        self._gate_event: SimEvent | None = None
+        self.stats = {"coordinations": 0, "rounds": 0, "aborts": 0}
+
+    # -- hot-path hooks (identical surface to coord) ------------------------
+
+    def gate_wait(self) -> SimGen:
+        while self.gate_active:
+            if self._gate_event is None:
+                self._gate_event = self.ompi.kernel.event("crcp-tp-gate")
+            yield WaitEvent(self._gate_event)
+        return None
+
+    def note_send(self, dst_world: int) -> None:
+        self.sent_count[dst_world] = self.sent_count.get(dst_world, 0) + 1
+
+    def after_send(self, dst_world: int) -> None:
+        pass
+
+    def before_recv_post(self, src_world: int) -> None:
+        pass
+
+    def on_delivered(self, src_world: int) -> None:
+        self.recvd_count[src_world] = self.recvd_count.get(src_world, 0) + 1
+
+    # -- coordination -----------------------------------------------------------
+
+    def _totals(self) -> tuple[int, int]:
+        return sum(self.sent_count.values()), sum(self.recvd_count.values())
+
+    def coordinate(self) -> SimGen:
+        ompi = self.ompi
+        self.stats["coordinations"] += 1
+        self.gate_active = True
+        self.aborted = False
+        comm = ompi.comm_world
+        if comm.size == 1:
+            yield from ompi.pml_base.quiesce_sends()
+            return None
+
+        rml = ompi.rml
+        jobid = ompi.proc.name.jobid
+        root = ProcessName(jobid, comm.world_rank(0))
+        i_am_root = comm.rank == 0
+        # Flush stragglers from a previously aborted coordination so a
+        # stale report/verdict cannot pollute this one.
+        for tag in (TAG_ROUND_REPORT, TAG_ROUND_VERDICT):
+            while rml.try_recv(tag)[0]:
+                pass
+        pml = ompi.pml_base
+        pml.enter_drain()
+        try:
+            while True:
+                self.stats["rounds"] += 1
+                # Local phase: let in-flight sends finish, let drain
+                # progress settle briefly, then report totals.
+                yield from pml.quiesce_sends()
+                yield Delay(2 * ompi.cluster.eth.model.latency_s)
+                if self.aborted:
+                    raise CheckpointError(
+                        f"{ompi.proc.label}: twophase coordination aborted"
+                    )
+                sent, recvd = self._totals()
+                if i_am_root:
+                    done = yield from self._root_round(comm, sent, recvd)
+                else:
+                    yield from rml.send(
+                        root,
+                        TAG_ROUND_REPORT,
+                        {"from": comm.rank, "sent": sent, "recvd": recvd},
+                    )
+                    _, verdict = yield from rml.recv(TAG_ROUND_VERDICT)
+                    if self.aborted:
+                        raise CheckpointError(
+                            f"{ompi.proc.label}: twophase coordination aborted"
+                        )
+                    done = bool(verdict.get("done"))
+                if done:
+                    break
+        finally:
+            pml.leave_drain()
+        yield from pml.quiesce_sends()
+        log.debug("%s quiesced after %d rounds", ompi.proc.label, self.stats["rounds"])
+        return None
+
+    def _root_round(self, comm, my_sent: int, my_recvd: int) -> SimGen:
+        """Aggregate one round at the root; returns the verdict."""
+        rml = self.ompi.rml
+        jobid = self.ompi.proc.name.jobid
+        totals = {"sent": my_sent, "recvd": my_recvd}
+        seen = 0
+        while seen < comm.size - 1:
+            _, report = yield from rml.recv(TAG_ROUND_REPORT)
+            if self.aborted:
+                break
+            if report.get("from", -1) < 0:
+                continue  # abort poke
+            totals["sent"] += report["sent"]
+            totals["recvd"] += report["recvd"]
+            seen += 1
+        prev = getattr(self, "_prev_totals", None)
+        settled = totals["sent"] == totals["recvd"] and prev == totals
+        self._prev_totals = dict(totals)
+        verdict = {"done": settled, "abort": self.aborted}
+        for peer in comm.peer_ranks():
+            yield from rml.send(
+                ProcessName(jobid, comm.world_rank(peer)),
+                TAG_ROUND_VERDICT,
+                dict(verdict),
+            )
+        if self.aborted:
+            raise CheckpointError(
+                f"{self.ompi.proc.label}: twophase coordination aborted"
+            )
+        if settled:
+            self._prev_totals = None
+        return settled
+
+    def resume(self, restarting: bool) -> None:
+        self.gate_active = False
+        if self._gate_event is not None:
+            event, self._gate_event = self._gate_event, None
+            if not event.fired:
+                event.fire(None)
+
+    def abort(self) -> None:
+        if not self.gate_active:
+            return
+        self.aborted = True
+        self.stats["aborts"] += 1
+        # Poke whichever wait the coordinator is in.
+        self.ompi.rml._queue(TAG_ROUND_REPORT).put(
+            (None, {"from": -1, "sent": 0, "recvd": 0})
+        )
+        self.ompi.rml._queue(TAG_ROUND_VERDICT).put(
+            (None, {"done": False, "abort": True})
+        )
+
+    # -- image ---------------------------------------------------------------
+
+    def capture_image_state(self, crs_name: str):
+        if self.gate_active is False:
+            raise CheckpointError("CRCP image captured outside coordination")
+        return {
+            "sent": dict(self.sent_count),
+            "recvd": dict(self.recvd_count),
+        }
+
+    def restore_image_state(self, state) -> None:
+        self.sent_count = {int(k): v for k, v in state["sent"].items()}
+        self.recvd_count = {int(k): v for k, v in state["recvd"].items()}

@@ -1,0 +1,29 @@
+"""Rebuild logged exceptions by class name.
+
+The application runner logs op failures as ``("err", type_name,
+message)`` so the replay path can re-raise the same error into the
+application generator (applications that caught and handled an error
+must replay identically).
+"""
+
+from __future__ import annotations
+
+from repro.util import errors as _errors
+from repro.util.errors import ReproError
+
+_KNOWN: dict[str, type] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+}
+
+
+def rebuild(type_name: str, message: str) -> BaseException:
+    """Reconstruct an exception from its logged (type, message) pair."""
+    cls = _KNOWN.get(type_name, ReproError)
+    try:
+        return cls(message)
+    except TypeError:
+        # Exotic constructors (e.g. NotCheckpointableError takes a list)
+        # fall back to the base class carrying the original text.
+        return ReproError(f"{type_name}: {message}")

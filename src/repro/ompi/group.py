@@ -1,0 +1,70 @@
+"""MPI groups: ordered sets of world ranks."""
+
+from __future__ import annotations
+
+from repro.util.errors import MPIError
+
+
+class Group:
+    """An ordered list of world ranks; immutable."""
+
+    def __init__(self, world_ranks: list[int]):
+        if len(set(world_ranks)) != len(world_ranks):
+            raise MPIError("group contains duplicate ranks")
+        self._ranks = tuple(world_ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def world_rank(self, group_rank: int) -> int:
+        """Translate a rank within this group to a world rank."""
+        try:
+            return self._ranks[group_rank]
+        except IndexError:
+            raise MPIError(
+                f"rank {group_rank} out of range for group of {self.size}"
+            ) from None
+
+    def group_rank(self, world_rank: int) -> int:
+        """Translate a world rank to a rank within this group (-1 if absent)."""
+        try:
+            return self._ranks.index(world_rank)
+        except ValueError:
+            return -1
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._ranks
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self._ranks
+
+    # -- set operations -------------------------------------------------------
+
+    def union(self, other: "Group") -> "Group":
+        merged = list(self._ranks)
+        merged.extend(r for r in other._ranks if r not in self._ranks)
+        return Group(merged)
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group([r for r in self._ranks if r in other._ranks])
+
+    def difference(self, other: "Group") -> "Group":
+        return Group([r for r in self._ranks if r not in other._ranks])
+
+    def incl(self, group_ranks: list[int]) -> "Group":
+        return Group([self.world_rank(r) for r in group_ranks])
+
+    def excl(self, group_ranks: list[int]) -> "Group":
+        drop = {self.world_rank(r) for r in group_ranks}
+        return Group([r for r in self._ranks if r not in drop])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Group{self._ranks}"

@@ -1,0 +1,50 @@
+"""Application process construction (called by orteds).
+
+Builds the full per-process layer stack in paper order — OPAL (CRS,
+INC bottom), ORTE (RML, app coordinator, INC middle), OMPI (PML/BTL/
+CRCP/COLL, INC top of the library) — then hands control to the
+application runner.  On the restart path the runner loads and restores
+the local snapshot image before ``MPI_INIT``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.apps.appkit import AppRunner
+from repro.ompi.layer import OmpiLayer
+from repro.opal.layer import OpalLayer
+from repro.orte.job import ProcSpec
+from repro.orte.proc_layer import OrteProcLayer
+from repro.simenv.process import SimProcess, run_process_main
+from repro.util.errors import LaunchError
+from repro.util.ids import ProcessName
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.universe import Universe
+    from repro.simenv.node import Node
+
+
+def build_app_process(
+    universe: "Universe", node: "Node", spec: ProcSpec
+) -> SimProcess:
+    """Create one application rank on *node* and start it."""
+    job = universe.jobs.get(spec.jobid)
+    if job is None:
+        raise LaunchError(f"launch for unknown job {spec.jobid}")
+    params = job.params
+    name = ProcessName(spec.jobid, spec.rank)
+    if universe.lookup(name) is not None:
+        raise LaunchError(f"{name} already running")
+    proc = SimProcess(node, name, label=f"app{spec.jobid}.{spec.rank}")
+    if spec.restart_from is not None:
+        proc.env["restart"] = True
+    registry = universe.make_registry()
+    opal = OpalLayer(proc, registry, params)
+    orte_layer = OrteProcLayer(proc, universe, opal)
+    ompi = OmpiLayer(proc, universe, opal, orte_layer.rml, registry, params)
+    runner = AppRunner(proc, universe, opal, orte_layer, ompi, spec)
+    universe.register(proc)
+    job.procs[spec.rank] = proc
+    run_process_main(proc, runner.main_thread, name="app-main")
+    return proc

@@ -1,0 +1,254 @@
+"""MPI operation descriptors — the application/runner boundary.
+
+Application code (and collective algorithms) *yield* these descriptors;
+the application runner executes them and records their results, which
+is what makes the ``simcr`` record-replay process image work: an
+in-flight op is re-executable against restored library state, a
+completed op's result comes from the log (see DESIGN.md decision 1).
+
+Design constraints on every op:
+
+* results must be picklable (they go in the process image);
+* ``execute`` must be *idempotently re-executable* when the op was
+  in-flight at checkpoint time — e.g. ``OpWait`` resolves its integer
+  handle against the restored request table rather than holding object
+  references.
+
+The ``rt`` argument is the runtime facade (the
+:class:`repro.apps.appkit.AppRuntime` or the library-internal
+:class:`InlineRuntime`): it provides ``ompi``, ``proc``, ``rml``,
+``kernel``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.orte.oob import TAG_CKPT_REPLY, TAG_CKPT_REQUEST
+from repro.simenv.kernel import Delay, SimGen
+from repro.util.errors import CheckpointError, MPIError
+from repro.util.ids import hnp_name
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ompi.communicator import Communicator
+
+log = get_logger("ompi.ops")
+
+
+class MPIOp:
+    """Base class of yieldable operations."""
+
+    __slots__ = ()
+
+    def execute(self, rt) -> SimGen:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class OpISend(MPIOp):
+    """Initiate a send; result is the request handle (int)."""
+
+    __slots__ = ("comm", "dst", "tag", "payload")
+
+    def __init__(self, comm: "Communicator", dst: int, tag: int, payload: Any):
+        self.comm = comm
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+
+    def execute(self, rt) -> SimGen:
+        req_id = yield from rt.ompi.pml.isend(
+            self.comm, self.dst, self.tag, self.payload
+        )
+        return req_id
+
+
+class OpIRecv(MPIOp):
+    """Post a receive; result is the request handle (int)."""
+
+    __slots__ = ("comm", "src", "tag")
+
+    def __init__(self, comm: "Communicator", src: int, tag: int):
+        self.comm = comm
+        self.src = src
+        self.tag = tag
+
+    def execute(self, rt) -> SimGen:
+        req_id = yield from rt.ompi.pml.irecv(self.comm, self.src, self.tag)
+        return req_id
+
+
+class OpWait(MPIOp):
+    """Wait for a request; result is ``None`` (send) or
+    ``(payload, status_tuple)`` (recv)."""
+
+    __slots__ = ("req_id",)
+
+    def __init__(self, req_id: int):
+        if not isinstance(req_id, int):
+            raise MPIError(f"OpWait needs an integer handle, got {req_id!r}")
+        self.req_id = req_id
+
+    def execute(self, rt) -> SimGen:
+        result = yield from rt.ompi.pml.wait(self.req_id)
+        if result is None:
+            return None
+        payload, status = result
+        return (payload, status.to_tuple())
+
+
+class OpTest(MPIOp):
+    """Non-blocking completion test; result ``(done, result_or_None)``."""
+
+    __slots__ = ("req_id",)
+
+    def __init__(self, req_id: int):
+        self.req_id = req_id
+
+    def execute(self, rt) -> SimGen:
+        done, result = rt.ompi.pml.test(self.req_id)
+        if done and result is not None:
+            payload, status = result
+            result = (payload, status.to_tuple())
+        yield from _noop()
+        return (done, result)
+
+
+class OpIProbe(MPIOp):
+    """Non-blocking probe; result is a status tuple or None."""
+
+    __slots__ = ("comm", "src", "tag")
+
+    def __init__(self, comm: "Communicator", src: int, tag: int):
+        self.comm = comm
+        self.src = src
+        self.tag = tag
+
+    def execute(self, rt) -> SimGen:
+        status = rt.ompi.pml.iprobe(self.comm, self.src, self.tag)
+        yield from _noop()
+        return status.to_tuple() if status is not None else None
+
+
+class OpCompute(MPIOp):
+    """Burn simulated CPU time.  Result is the elapsed seconds."""
+
+    __slots__ = ("seconds", "work")
+
+    def __init__(self, seconds: float | None = None, work: float | None = None):
+        if (seconds is None) == (work is None):
+            raise ValueError("specify exactly one of seconds= or work=")
+        self.seconds = seconds
+        self.work = work
+
+    def execute(self, rt) -> SimGen:
+        seconds = (
+            self.seconds
+            if self.seconds is not None
+            else rt.proc.node.compute_seconds(self.work)
+        )
+        yield Delay(seconds)
+        return seconds
+
+
+class OpNow(MPIOp):
+    """Read the simulated clock (MPI_Wtime).  Logged so replay sees the
+    original timestamps."""
+
+    __slots__ = ()
+
+    def execute(self, rt) -> SimGen:
+        yield from _noop()
+        return rt.kernel.now
+
+
+class OpLog(MPIOp):
+    """Emit a message (side effect suppressed on replay)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def execute(self, rt) -> SimGen:
+        log.info("[t=%.6f %s] %s", rt.kernel.now, rt.proc.label, self.message)
+        yield from _noop()
+        return None
+
+
+class OpCheckpoint(MPIOp):
+    """Synchronous in-application checkpoint request (paper section 1:
+    "synchronous checkpoint requests are handled by an application via
+    a common API").
+
+    Sends the request to the global coordinator and blocks until the
+    global snapshot completes.  Result is the reply dict
+    (``{"ok": True, "snapshot": path, "interval": n}``).
+    """
+
+    __slots__ = ("terminate", "options")
+
+    def __init__(self, terminate: bool = False, options: dict | None = None):
+        self.terminate = terminate
+        self.options = dict(options or {})
+
+    def execute(self, rt) -> SimGen:
+        options = dict(self.options)
+        options["terminate"] = self.terminate
+        _, reply = yield from rt.rml.rpc(
+            hnp_name(),
+            TAG_CKPT_REQUEST,
+            {"jobid": rt.proc.name.jobid, "options": options},
+            TAG_CKPT_REPLY,
+        )
+        if not reply.get("ok") and not self.options.get("allow_fail"):
+            raise CheckpointError(reply.get("error", "checkpoint failed"))
+        return {
+            "ok": reply.get("ok", False),
+            "snapshot": reply.get("snapshot"),
+            "interval": reply.get("interval"),
+            "error": reply.get("error"),
+        }
+
+
+def _noop() -> SimGen:
+    return None
+    yield  # pragma: no cover
+
+
+class InlineRuntime:
+    """Minimal runtime facade for library-internal op execution
+    (e.g. the MPI_Finalize barrier), with no logging/replay."""
+
+    def __init__(self, ompi):
+        self.ompi = ompi
+        self.proc = ompi.proc
+        self.rml = ompi.rml
+        self.kernel = ompi.kernel
+
+
+def drive_ops(rt, gen) -> SimGen:
+    """Drive an op-yielding generator, executing every op immediately.
+
+    Used for library-internal collective invocations; the application
+    runner has its own (logging, replaying) driver.
+    """
+    result = None
+    exc: BaseException | None = None
+    while True:
+        try:
+            if exc is not None:
+                op = gen.throw(exc)
+                exc = None
+            else:
+                op = gen.send(result)
+        except StopIteration as stop:
+            return stop.value
+        if not isinstance(op, MPIOp):
+            raise MPIError(f"expected an MPIOp, got {op!r}")
+        try:
+            result = yield from op.execute(rt)
+        except BaseException as err:  # noqa: BLE001 - forward into the gen
+            exc = err
+            result = None

@@ -1,0 +1,20 @@
+"""PML — point-to-point management layer framework.
+
+``ob1`` is the default component (eager + rendezvous protocols over
+BTLs with MPI matching semantics).  The CRCP framework interposes on
+the PML through :class:`repro.ompi.crcp.wrapper.CRCPWrapperPML`, the
+paper's "wrapper PML component" (section 6.3).
+"""
+
+from repro.ompi.pml.base import PMLComponent, register_pml_components
+from repro.ompi.pml.matching import MatchingEngine, MPIMsg, PostedRecv
+from repro.ompi.pml.ob1 import Ob1PML
+
+__all__ = [
+    "PMLComponent",
+    "register_pml_components",
+    "MatchingEngine",
+    "MPIMsg",
+    "PostedRecv",
+    "Ob1PML",
+]

@@ -1,0 +1,137 @@
+"""MPI requests.
+
+Request handles are small integers so they are trivially part of the
+process image: a restarted process's replay log can return the very
+same handle, and ``wait`` re-executed after restart resolves it against
+the restored request table (see DESIGN.md section 5, decision 1).
+
+The completion :class:`SimEvent` is deliberately *not* part of the
+captured state — events are re-created lazily in the restored process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.simenv.kernel import SimEvent, SimGen, WaitEvent
+from repro.util.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+
+
+class Request:
+    """One outstanding (or completed, unconsumed) communication."""
+
+    __slots__ = ("id", "kind", "complete", "result", "error", "recv_params", "_event", "_kernel")
+
+    def __init__(self, kernel: "Kernel", req_id: int, kind: str):
+        self.id = req_id
+        self.kind = kind  # "send" | "recv"
+        self.complete = False
+        self.result: Any = None
+        self.error: str | None = None
+        #: (cid, src, tag) for pending receives (needed for re-posting)
+        self.recv_params: tuple[int, int, int] | None = None
+        self._event: SimEvent | None = None
+        self._kernel = kernel
+
+    # -- completion -----------------------------------------------------------
+
+    def complete_ok(self, result: Any) -> None:
+        if self.complete:
+            raise MPIError(f"request {self.id} completed twice")
+        self.complete = True
+        self.result = result
+        if self._event is not None and not self._event.fired:
+            self._event.fire(result)
+
+    def complete_error(self, message: str) -> None:
+        if self.complete:
+            return
+        self.complete = True
+        self.error = message
+        if self._event is not None and not self._event.fired:
+            self._event.fail(MPIError(message))
+
+    def wait(self) -> SimGen:
+        if self.complete:
+            if self.error is not None:
+                raise MPIError(self.error)
+            return self.result
+        if self._event is None:
+            self._event = self._kernel.event(f"req{self.id}")
+        result = yield WaitEvent(self._event)
+        return result
+
+    def test(self) -> tuple[bool, Any]:
+        if self.complete and self.error is not None:
+            raise MPIError(self.error)
+        return self.complete, self.result
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.complete else "pending"
+        return f"<Request {self.id} {self.kind} {state}>"
+
+
+class RequestTable:
+    """Per-process request registry (part of the process image)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self._next_id = 1
+        self._requests: dict[int, Request] = {}
+
+    def new(self, kind: str) -> Request:
+        req = Request(self._kernel, self._next_id, kind)
+        self._next_id += 1
+        self._requests[req.id] = req
+        return req
+
+    def get(self, req_id: int) -> Request:
+        try:
+            return self._requests[req_id]
+        except KeyError:
+            raise MPIError(f"unknown request handle {req_id}") from None
+
+    def free(self, req_id: int) -> None:
+        self._requests.pop(req_id, None)
+
+    @property
+    def pending(self) -> list[Request]:
+        return [r for r in self._requests.values() if not r.complete]
+
+    def pending_of_kind(self, kind: str) -> list[Request]:
+        return [r for r in self.pending if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    # -- image capture/restore ----------------------------------------------
+
+    def capture(self) -> dict:
+        entries = []
+        for req in self._requests.values():
+            entries.append(
+                {
+                    "id": req.id,
+                    "kind": req.kind,
+                    "complete": req.complete,
+                    "result": req.result,
+                    "error": req.error,
+                    "recv_params": req.recv_params,
+                }
+            )
+        return {"next_id": self._next_id, "entries": entries}
+
+    def restore(self, state: dict) -> None:
+        self._next_id = state["next_id"]
+        self._requests.clear()
+        for entry in state["entries"]:
+            req = Request(self._kernel, entry["id"], entry["kind"])
+            req.complete = entry["complete"]
+            req.result = entry["result"]
+            req.error = entry["error"]
+            params = entry["recv_params"]
+            req.recv_params = tuple(params) if params is not None else None
+            self._requests[req.id] = req

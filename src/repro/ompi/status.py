@@ -1,0 +1,21 @@
+"""MPI_Status analogue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def to_tuple(self) -> tuple[int, int, int]:
+        return (self.source, self.tag, self.nbytes)
+
+    @classmethod
+    def from_tuple(cls, data) -> "Status":
+        return cls(*data)

@@ -1,0 +1,12 @@
+"""OPAL — Open Portable Access Layer (bottom of the three-layer stack).
+
+Hosts what the paper puts at OPAL: the single-process
+checkpoint/restart service framework (**CRS**, section 6.4), the OPAL
+entry point that begins interlayer notification (Figure 2), and the
+per-process image-contributor registry that stands in for "process
+memory" in this simulated reproduction.
+"""
+
+from repro.opal.layer import CheckpointRequest, ImageContributor, OpalLayer
+
+__all__ = ["CheckpointRequest", "ImageContributor", "OpalLayer"]

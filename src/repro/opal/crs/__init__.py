@@ -1,0 +1,26 @@
+"""OPAL CRS — the single-process Checkpoint/Restart Service framework.
+
+One component interfaces the framework API to each available
+checkpointer (paper section 6.4).  This reproduction ships:
+
+* ``simcr`` — the BLCR analogue: captures a complete process image
+  (application record-replay log + every registered library
+  contributor) with no application involvement.
+* ``self`` — application-level checkpointing via registered
+  checkpoint/continue/restart callbacks.
+* ``none`` — no checkpointer; the process reports itself
+  not-checkpointable, exercising the SNAPC veto path (section 5.1).
+"""
+
+from repro.opal.crs.base import CRSComponent, register_crs_components
+from repro.opal.crs.none_crs import NoneCRS
+from repro.opal.crs.self_cb import SelfCRS
+from repro.opal.crs.simcr import SimCR
+
+__all__ = [
+    "CRSComponent",
+    "register_crs_components",
+    "NoneCRS",
+    "SelfCRS",
+    "SimCR",
+]

@@ -1,0 +1,120 @@
+"""CRS framework base: API every checkpointer component implements.
+
+The paper (section 5.4) requires exactly two operations —
+
+* ``checkpoint(pid)`` → local snapshot reference,
+* ``restart(local snapshot reference)`` → a process resumed from it —
+
+plus the ability to *enable and disable checkpointing* to protect
+non-checkpointable code sections.  In this reproduction ``restart`` is
+split in two because the new process is created by the ORTE launcher:
+``restart_extract`` reads and decodes the image (this framework's job),
+and the launcher feeds the decoded image to the new process's layers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any
+
+from repro.mca.component import Component
+from repro.simenv.kernel import SimGen
+from repro.snapshot import (
+    LocalSnapshotMeta,
+    LocalSnapshotRef,
+    read_local_meta,
+    write_local_meta,
+)
+from repro.util.errors import CheckpointError, RestartError
+from repro.vfs import path as vpath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+    from repro.opal.layer import CheckpointRequest, OpalLayer
+    from repro.vfs.fsbase import FS
+
+
+class CRSComponent(Component):
+    """Base class of CRS components."""
+
+    framework_name = "crs"
+    #: whether images can be restarted on a node with a different OS tag
+    portable_images = True
+
+    # -- required API ----------------------------------------------------------
+
+    def can_checkpoint(self, opal: "OpalLayer") -> bool:
+        """Does this component support checkpointing this process?"""
+        return True
+
+    def capture(self, opal: "OpalLayer", request: "CheckpointRequest") -> dict[str, Any]:
+        """Assemble the in-memory process image.  Subclasses override."""
+        raise NotImplementedError
+
+    def restore(self, opal: "OpalLayer", image: dict[str, Any]) -> None:
+        """Reinstall a decoded image into a fresh process's layers."""
+        opal.restore_contributors(image)
+
+    # -- framework-level flow (shared by components) -----------------------------
+
+    def checkpoint(self, opal: "OpalLayer", request: "CheckpointRequest") -> SimGen:
+        """Take a local snapshot; returns ``(ref, meta)``.
+
+        Writes ``image.pkl`` and ``metadata.json`` into
+        ``request.snapshot_dir`` on ``request.target_fs``, paying the
+        serialization and disk costs.
+        """
+        if not self.can_checkpoint(opal):
+            raise CheckpointError(
+                f"CRS {self.name!r} cannot checkpoint {opal.proc.label}"
+            )
+        image = self.capture(opal, request)
+        try:
+            blob = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                f"{opal.proc.label}: image not picklable: {exc}"
+            ) from exc
+        fs = request.target_fs
+        fs.mkdir(request.snapshot_dir)
+        ref = LocalSnapshotRef(fs_name=fs.name, path=request.snapshot_dir)
+        yield from fs.write(ref.image_path, blob)
+        meta = LocalSnapshotMeta(
+            rank=opal.proc.name.vpid,
+            jobid=opal.proc.name.jobid,
+            crs_component=self.name,
+            origin_node=opal.proc.node.name,
+            os_tag=opal.proc.node.os_tag,
+            interval=request.interval,
+            sim_time=opal.proc.kernel.now,
+            portable=self.portable_images,
+            app_params=dict(request.options),
+            files=[vpath.basename(ref.image_path)],
+        )
+        yield from write_local_meta(fs, ref, meta)
+        return ref, meta
+
+    def restart_extract(self, fs: "FS", ref: LocalSnapshotRef) -> SimGen:
+        """Read a local snapshot; returns ``(meta, image_dict)``."""
+        meta = yield from read_local_meta(fs, ref)
+        if meta.crs_component != self.name:
+            raise RestartError(
+                f"snapshot {ref.path} was taken by CRS "
+                f"{meta.crs_component!r}, not {self.name!r}"
+            )
+        blob = yield from fs.read(ref.image_path)
+        try:
+            image = pickle.loads(blob)
+        except Exception as exc:
+            raise RestartError(f"corrupt image at {ref.image_path}: {exc}") from exc
+        return meta, image
+
+
+def register_crs_components(registry: "FrameworkRegistry") -> None:
+    from repro.opal.crs.none_crs import NoneCRS
+    from repro.opal.crs.self_cb import SelfCRS
+    from repro.opal.crs.simcr import SimCR
+
+    registry.add_component("crs", SimCR)
+    registry.add_component("crs", SelfCRS)
+    registry.add_component("crs", NoneCRS)

@@ -1,0 +1,32 @@
+"""``none`` — checkpointing unavailable.
+
+Selected when a machine has no checkpointer (or forced with
+``--mca crs none``).  Processes running this component identify
+themselves as *not checkpointable*; the snapshot coordinator must then
+reject any request that includes them without affecting any process
+(paper section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.mca.component import component_of
+from repro.opal.crs.base import CRSComponent
+from repro.util.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.opal.layer import CheckpointRequest, OpalLayer
+
+
+@component_of("crs", "none", priority=0)
+class NoneCRS(CRSComponent):
+    """The null checkpointer."""
+
+    def can_checkpoint(self, opal: "OpalLayer") -> bool:
+        return False
+
+    def capture(self, opal: "OpalLayer", request: "CheckpointRequest") -> dict[str, Any]:
+        raise CheckpointError(
+            f"{opal.proc.label}: CRS 'none' cannot take checkpoints"
+        )

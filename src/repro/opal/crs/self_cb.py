@@ -1,0 +1,79 @@
+"""``self`` — application-level checkpointing via user callbacks.
+
+Mirrors LAM/MPI's and Open MPI's SELF component (paper sections 2 and
+6.4): the application registers ``checkpoint``, ``continue`` and
+``restart`` callbacks.  At checkpoint time the *checkpoint* callback
+produces the application's own state; library subsystems are still
+captured through their contributors (the library cannot rely on the
+user to save the matching engine).  At restart the *restart* callback
+receives the saved state and the application is responsible for
+resuming from it; after a checkpoint on the surviving process the
+*continue* callback runs.
+
+Callbacks are registered through
+:meth:`repro.apps.appkit.AppContext.register_self_callbacks` (the
+public API) which stores them on the OPAL layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.mca.component import component_of
+from repro.core.ft_event import FTState
+from repro.opal.crs.base import CRSComponent
+from repro.util.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.opal.layer import CheckpointRequest, OpalLayer
+
+#: key under which the user state is stored inside the image dict
+SELF_STATE_KEY = "crs.self.user_state"
+
+
+@component_of("crs", "self", priority=10)
+class SelfCRS(CRSComponent):
+    """User-callback checkpointer."""
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self._opal: "OpalLayer | None" = None
+
+    def open(self, context: object | None = None) -> None:
+        super().open(context)
+        self._opal = context  # the OpalLayer
+
+    def can_checkpoint(self, opal: "OpalLayer") -> bool:
+        return "checkpoint" in opal.self_callbacks
+
+    def capture(self, opal: "OpalLayer", request: "CheckpointRequest") -> dict[str, Any]:
+        cb = opal.self_callbacks.get("checkpoint")
+        if cb is None:
+            raise CheckpointError(
+                f"{opal.proc.label}: CRS 'self' selected but no "
+                "checkpoint callback registered"
+            )
+        image: dict[str, Any] = {SELF_STATE_KEY: cb()}
+        for key, contributor in sorted(opal.contributors.items()):
+            state = contributor.capture_image_state(self.name)
+            if state is not None:
+                image[key] = state
+        return image
+
+    def restore(self, opal: "OpalLayer", image: dict[str, Any]) -> None:
+        image = dict(image)
+        user_state = image.pop(SELF_STATE_KEY, None)
+        opal.restore_contributors(image)
+        # Stash the user state; the restart callback consumes it when
+        # the application main starts (AppRunner hands it over).
+        opal.self_callbacks["_restored_state"] = user_state
+
+    def ft_event(self, state: int) -> None:
+        """Run the continue/restart user callbacks at the right times."""
+        if self._opal is None:
+            return
+        callbacks = self._opal.self_callbacks
+        if state == FTState.CONTINUE and "continue" in callbacks:
+            callbacks["continue"]()
+        elif state == FTState.RESTART and "restart" in callbacks:
+            callbacks["restart"](callbacks.get("_restored_state"))

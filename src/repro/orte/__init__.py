@@ -1,0 +1,14 @@
+"""ORTE — Open Run-Time Environment (middle layer).
+
+Provides the parallel runtime the paper's coordination machinery lives
+in: the out-of-band control plane (OOB/RML), process launch (PLM
+framework), per-node daemons (orteds), the head node process
+(mpirun/HNP), the snapshot coordinator framework (**SNAPC**, section
+6.1), the file management framework (**FILEM**, section 6.2), and the
+error manager.
+"""
+
+from repro.orte.job import AppSpec, Job, JobState, ProcSpec
+from repro.orte.universe import Universe
+
+__all__ = ["AppSpec", "Job", "JobState", "ProcSpec", "Universe"]

@@ -1,0 +1,102 @@
+"""Error manager: failure detection and recovery policy.
+
+The paper lists "automatic, transparent recovery" as an intended
+extension of the design; this module implements it as an optional
+policy.  With ``orte_errmgr_autorecover=1`` the HNP reacts to a rank or
+node failure by aborting the damaged job and restarting it from its
+most recent global snapshot on the surviving nodes — the workflow of
+the recovery integration tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.orte.job import Job, JobState
+from repro.simenv.kernel import SimGen
+from repro.util.errors import ReproError
+from repro.util.ids import ProcessName
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+
+log = get_logger("orte.errmgr")
+
+
+class ErrMgr:
+    """Per-HNP failure policy engine."""
+
+    def __init__(self, hnp: "HNP"):
+        self.hnp = hnp
+        self.autorecover = hnp.universe.params.get_bool(
+            "orte_errmgr_autorecover", False
+        )
+        #: jobs recovered: (failed_jobid, new_jobid)
+        self.recoveries: list[tuple[int, int]] = []
+        hnp.universe.cluster.failures.on_failure(self._on_injected_failure)
+
+    # -- detection -------------------------------------------------------------
+
+    def _on_injected_failure(self, description: str) -> None:
+        """Failure-injector callback (runs synchronously in the kernel).
+
+        Node crashes kill the orted too, so no PROC_EXIT will arrive
+        for ranks on that node — this is the heartbeat-loss path.
+        """
+        if not description.startswith("node:"):
+            return
+        node_name = description.split(":", 1)[1]
+        for job in list(self.hnp.universe.jobs.values()):
+            if job.is_done:
+                continue
+            lost = [r for r, n in job.placements.items() if n == node_name]
+            if not lost:
+                continue
+            self.hnp.proc.spawn_thread(
+                self._handle_lost_ranks(job, lost),
+                name=f"errmgr-node-{node_name}-job{job.jobid}",
+                daemon=True,
+            )
+
+    def _handle_lost_ranks(self, job: Job, lost: list[int]) -> SimGen:
+        for rank in lost:
+            yield from self.on_rank_failure(job, rank, "node failure")
+        return None
+
+    # -- policy ------------------------------------------------------------------
+
+    def on_rank_failure(self, job: Job, rank: int, detail) -> SimGen:
+        if job.is_done and job.state != JobState.FAILED:
+            return None
+        first_failure = job.state != JobState.FAILED
+        log.warning("job %d rank %d failed: %s", job.jobid, rank, detail)
+        job.failed_ranks.add(rank)
+        job.mark_failed()
+        if first_failure:
+            self._abort_survivors(job)
+            if self.autorecover and job.snapshots:
+                yield from self._autorecover(job)
+        return None
+
+    def _abort_survivors(self, job: Job) -> None:
+        """mpirun aborts the whole job on any rank failure (MPI default)."""
+        for rank in range(job.np):
+            if rank in job.failed_ranks:
+                continue
+            proc = self.hnp.universe.lookup(ProcessName(job.jobid, rank))
+            if proc is not None and proc.alive:
+                proc.kill(ReproError(f"job {job.jobid} aborted by errmgr"))
+
+    def _autorecover(self, job: Job) -> SimGen:
+        ref = job.snapshots[-1]
+        log.warning(
+            "autorecovering job %d from %s", job.jobid, ref.path
+        )
+        try:
+            new_job = yield from self.hnp.snapc.global_restart(self.hnp, ref, {})
+        except ReproError as exc:
+            log.warning("autorecovery of job %d failed: %s", job.jobid, exc)
+            return None
+        self.recoveries.append((job.jobid, new_job.jobid))
+        return None

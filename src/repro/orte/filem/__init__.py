@@ -1,0 +1,20 @@
+"""FILEM — remote file management framework (paper sections 5.2, 6.2).
+
+Supports the three required operations: **gather** (move remote local
+snapshots to stable storage), **broadcast** (preload checkpoint files
+onto remote machines before restart), and **remove** (clean up
+temporary checkpoint data).  Requests are given as lists so components
+can batch/parallelize (paper: "this interface allows it to use
+collective algorithms to optimize the operation").
+"""
+
+from repro.orte.filem.base import FILEMComponent, register_filem_components
+from repro.orte.filem.rsh import RshFILEM
+from repro.orte.filem.shared import SharedFILEM
+
+__all__ = [
+    "FILEMComponent",
+    "register_filem_components",
+    "RshFILEM",
+    "SharedFILEM",
+]

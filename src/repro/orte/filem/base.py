@@ -1,0 +1,104 @@
+"""FILEM framework base.
+
+Runs at the HNP (the global coordinator requests remote file transfer,
+Figure 1-F).  Entries are ``(node_name, src_path, dst_path)`` triples;
+the component decides transfer mechanics and concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import Component
+from repro.simenv.kernel import SimGen, WaitEvent, join_all
+from repro.util.errors import VFSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+    from repro.orte.hnp import HNP
+
+
+class FILEMComponent(Component):
+    """Base class for file-management components."""
+
+    framework_name = "filem"
+    #: True if local snapshots should be written directly to stable
+    #: storage, making gather a metadata check (the ``shared`` case).
+    wants_direct_stable = False
+
+    # Each op takes a list of work items and returns total bytes moved.
+
+    def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        """Move node-local trees to stable storage.
+
+        ``entries``: ``(node_name, local_src_dir, stable_dst_dir)``.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        """Preload stable-storage trees onto nodes.
+
+        ``entries``: ``(node_name, stable_src_dir, local_dst_dir)``.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def remove(self, hnp: "HNP", entries: list[tuple[str, str]]) -> SimGen:
+        """Delete node-local trees.  ``entries``: ``(node_name, dir)``."""
+        total = 0
+        for node_name, tree in entries:
+            node = hnp.universe.cluster.node(node_name)
+            if node.local_fs is None or not node.local_fs.reachable:
+                continue
+            total += yield from node.local_fs.remove_tree(tree)
+        return total
+
+    # -- shared helper: run per-entry generators with bounded concurrency ---
+
+    def _run_bounded(self, hnp: "HNP", gens: list, limit: int, label: str) -> SimGen:
+        kernel = hnp.proc.kernel
+        slots = {"free": max(1, limit)}
+        gate = [kernel.event(f"filem.{label}.slot")]
+        totals = {"bytes": 0}
+
+        def bounded(gen) -> SimGen:
+            while slots["free"] <= 0:
+                yield WaitEvent(gate[0])
+            slots["free"] -= 1
+            try:
+                moved = yield from gen
+                totals["bytes"] += int(moved or 0)
+            finally:
+                slots["free"] += 1
+                old, gate[0] = gate[0], kernel.event(f"filem.{label}.slot")
+                if not old.fired:
+                    old.fire(None)
+            return None
+
+        events = []
+        for i, gen in enumerate(gens):
+            thread = hnp.proc.spawn_thread(
+                bounded(gen), name=f"filem-{label}-{i}", daemon=True
+            )
+            events.append(thread.done)
+        joined = join_all(events, kernel, name=f"filem.{label}")
+        yield WaitEvent(joined)
+        return totals["bytes"]
+
+
+def node_local_fs(hnp: "HNP", node_name: str):
+    node = hnp.universe.cluster.node(node_name)
+    if node.local_fs is None:
+        raise VFSError(f"node {node_name} has no local filesystem")
+    if not node.up or not node.local_fs.reachable:
+        raise VFSError(f"node {node_name} local filesystem unreachable")
+    return node.local_fs
+
+
+def register_filem_components(registry: "FrameworkRegistry") -> None:
+    from repro.orte.filem.rsh import RshFILEM
+    from repro.orte.filem.shared import SharedFILEM
+
+    registry.add_component("filem", RshFILEM)
+    registry.add_component("filem", SharedFILEM)

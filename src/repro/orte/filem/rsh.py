@@ -1,0 +1,66 @@
+"""``rsh`` FILEM component (the paper's first implementation).
+
+Uses remote-execution + copy semantics: each tree copy pays an rsh
+session setup latency and streams bytes over the Ethernet model, with
+bounded concurrency (``filem_rsh_max_concurrent``) so simultaneous
+gathers don't model an impossible network.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import component_of
+from repro.orte.filem.base import FILEMComponent, node_local_fs
+from repro.simenv.kernel import SimGen
+from repro.vfs.transfer import copy_tree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+
+
+@component_of("filem", "rsh", priority=10)
+class RshFILEM(FILEMComponent):
+    def open(self, context: object | None = None) -> None:
+        super().open(context)
+        self.session_cost_s = self.params.get_float("filem_rsh_session_cost", 0.020)
+        self.max_concurrent = self.params.get_int("filem_rsh_max_concurrent", 4)
+
+    def _eth_bw(self, hnp: "HNP") -> float:
+        return hnp.universe.cluster.eth.model.bandwidth_Bps
+
+    def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        gens = []
+        for node_name, src_dir, dst_dir in entries:
+            src_fs = node_local_fs(hnp, node_name)
+            gens.append(
+                copy_tree(
+                    src_fs,
+                    src_dir,
+                    hnp.universe.cluster.stable_fs,
+                    dst_dir,
+                    extra_net_Bps=self._eth_bw(hnp),
+                    extra_latency_s=self.session_cost_s,
+                )
+            )
+        moved = yield from self._run_bounded(hnp, gens, self.max_concurrent, "gather")
+        return moved
+
+    def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        gens = []
+        for node_name, src_dir, dst_dir in entries:
+            dst_fs = node_local_fs(hnp, node_name)
+            gens.append(
+                copy_tree(
+                    hnp.universe.cluster.stable_fs,
+                    src_dir,
+                    dst_fs,
+                    dst_dir,
+                    extra_net_Bps=self._eth_bw(hnp),
+                    extra_latency_s=self.session_cost_s,
+                )
+            )
+        moved = yield from self._run_bounded(
+            hnp, gens, self.max_concurrent, "broadcast"
+        )
+        return moved

@@ -1,0 +1,51 @@
+"""``shared`` FILEM component: snapshots live on stable storage directly.
+
+When every node mounts the shared RAID filesystem, local snapshots can
+be written straight to their final location; gather degenerates to a
+metadata existence check and broadcast to a no-op (restarted processes
+read images from stable storage).  This is the configuration many
+production sites use and the natural baseline for the E5 experiment.
+
+Selected by ``--mca filem shared``; by default ``rsh`` wins (as in the
+paper, whose first component was rsh-based).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import component_of
+from repro.orte.filem.base import FILEMComponent
+from repro.simenv.kernel import Delay, SimGen
+from repro.util.errors import VFSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+
+
+@component_of("filem", "shared", priority=5)
+class SharedFILEM(FILEMComponent):
+    wants_direct_stable = True
+
+    def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        stable = hnp.universe.cluster.stable_fs
+        yield Delay(stable.op_latency_s * max(1, len(entries)))
+        for _node, src_dir, dst_dir in entries:
+            # Snapshots were written directly at their destination.
+            probe = dst_dir if stable.isdir(dst_dir) else src_dir
+            if not stable.isdir(probe):
+                raise VFSError(f"expected snapshot tree missing: {dst_dir}")
+        return 0
+
+    def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        stable = hnp.universe.cluster.stable_fs
+        yield Delay(stable.op_latency_s * max(1, len(entries)))
+        for _node, src_dir, _dst in entries:
+            if not stable.isdir(src_dir):
+                raise VFSError(f"snapshot tree missing on stable storage: {src_dir}")
+        return 0
+
+    def remove(self, hnp: "HNP", entries: list[tuple[str, str]]) -> SimGen:
+        # Nothing was staged on node-local disks.
+        yield Delay(0.0)
+        return 0

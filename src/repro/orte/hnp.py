@@ -1,0 +1,293 @@
+"""HNP — the head node process (``mpirun`` analogue).
+
+Hosts the global snapshot coordinator (paper Figure 1), the PLM and
+FILEM frameworks, the job init/modex rendezvous, and the tool-facing
+request handlers (checkpoint, restart, ps).  All incoming control
+traffic is served by per-tag daemon threads so a long-running
+checkpoint never blocks job management.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.orte.errmgr import ErrMgr
+from repro.orte.job import Job, JobState, ProcSpec
+from repro.orte.oob import (
+    RML,
+    TAG_CKPT_READY,
+    TAG_CKPT_REPLY,
+    TAG_CKPT_REQUEST,
+    TAG_INIT_GO,
+    TAG_INIT_READY,
+    TAG_MIGRATE_REPLY,
+    TAG_MIGRATE_REQUEST,
+    TAG_PROC_EXIT,
+    TAG_PS_REPLY,
+    TAG_PS_REQUEST,
+    TAG_RESTART_REPLY,
+    TAG_RESTART_REQUEST,
+)
+from repro.simenv.kernel import Queue, SimGen
+from repro.snapshot import GlobalSnapshotRef
+from repro.util.errors import LaunchError, NetworkError, ReproError
+from repro.util.ids import ProcessName
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.universe import Universe
+    from repro.simenv.process import SimProcess
+
+log = get_logger("orte.hnp")
+
+
+class HNP:
+    """The mpirun process's brain."""
+
+    def __init__(self, universe: "Universe", proc: "SimProcess"):
+        self.universe = universe
+        self.proc = proc
+        self.rml = RML(universe, proc)
+        self.registry = universe.make_registry()
+        self.plm = self.registry.framework("plm").open(universe.params, context=self)
+        self.snapc = self.registry.framework("snapc").open(universe.params, context=self)
+        self.filem = self.registry.framework("filem").open(universe.params, context=self)
+        self.errmgr = ErrMgr(self)
+        #: jobid -> set of ranks registered checkpointable (section 5.1)
+        self.ckpt_ready: dict[int, set[int]] = {}
+        #: jobid -> queue of INIT_READY payloads
+        self._init_queues: dict[int, Queue] = {}
+        self._start_handlers()
+
+    # -- handler plumbing ---------------------------------------------------
+
+    def _start_handlers(self) -> None:
+        handlers = {
+            TAG_INIT_READY: self._on_init_ready,
+            TAG_PROC_EXIT: self._on_proc_exit,
+            TAG_CKPT_READY: self._on_ckpt_ready,
+            TAG_CKPT_REQUEST: self._on_ckpt_request,
+            TAG_RESTART_REQUEST: self._on_restart_request,
+            TAG_MIGRATE_REQUEST: self._on_migrate_request,
+            TAG_PS_REQUEST: self._on_ps_request,
+        }
+        for tag, handler in handlers.items():
+            self.proc.spawn_thread(
+                self._serve(tag, handler), name=f"hnp-{tag}", daemon=True
+            )
+
+    def _serve(self, tag: str, handler) -> SimGen:
+        while True:
+            sender, payload = yield from self.rml.recv(tag)
+            # Spawn a worker per message so slow handlers don't starve
+            # the tag queue.
+            self.proc.spawn_thread(
+                handler(sender, payload), name=f"hnp-{tag}-worker", daemon=True
+            )
+
+    # -- job launch -----------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Asynchronously launch *job* (called from outside the sim)."""
+        specs = self._plan_placement(job)
+        self.proc.spawn_thread(
+            self._launch_wrapper(job, specs), name=f"hnp-launch-job{job.jobid}",
+            daemon=True,
+        )
+
+    def _launch_wrapper(self, job: Job, specs: list[ProcSpec]) -> SimGen:
+        try:
+            yield from self.launch_and_init(job, specs)
+        except ReproError as exc:
+            log.warning("launch of job %d failed: %s", job.jobid, exc)
+            job.mark_failed()
+            # Ranks that did come up are orphans of a dead launch.
+            self.errmgr._abort_survivors(job)
+        return None
+
+    def _plan_placement(self, job: Job) -> list[ProcSpec]:
+        up = [n for n in self.universe.cluster.nodes if n.up]
+        if not up:
+            raise LaunchError("no nodes available")
+        specs = []
+        for rank in range(job.np):
+            node = up[rank % len(up)]
+            specs.append(
+                ProcSpec(
+                    jobid=job.jobid,
+                    rank=rank,
+                    node_name=node.name,
+                    app=job.app,
+                )
+            )
+        return specs
+
+    def launch_and_init(self, job: Job, specs: list[ProcSpec]) -> SimGen:
+        """PLM launch + the MPI_INIT rendezvous (modex exchange)."""
+        job.state = JobState.LAUNCHING
+        job.placements = {s.rank: s.node_name for s in specs}
+        init_queue = self.proc.kernel.queue(f"init.job{job.jobid}")
+        self._init_queues[job.jobid] = init_queue
+        yield from self.plm.launch(self, specs)
+        # Gather one INIT_READY (with a business card) per rank.  A
+        # rank dying before initializing (e.g. a corrupt restart image)
+        # aborts the whole launch rather than waiting forever.
+        cards: dict[int, dict] = {}
+        while len(cards) < job.np:
+            payload = yield from init_queue.get()
+            if "launch_abort" in payload:
+                self._init_queues.pop(job.jobid, None)
+                job.mark_failed()
+                self.errmgr._abort_survivors(job)
+                raise LaunchError(payload["launch_abort"])
+            cards[payload["rank"]] = payload["card"]
+        # Broadcast the modex: every rank learns every endpoint.
+        modex = {rank: cards[rank] for rank in sorted(cards)}
+        for rank in sorted(cards):
+            yield from self.rml.send(
+                ProcessName(job.jobid, rank),
+                TAG_INIT_GO,
+                {"modex": modex, "np": job.np},
+            )
+        job.state = JobState.RUNNING
+        self._init_queues.pop(job.jobid, None)
+        return job
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_init_ready(self, sender, payload: dict) -> SimGen:
+        queue = self._init_queues.get(payload["jobid"])
+        if queue is not None:
+            queue.put(payload)
+        yield from ()
+        return None
+
+    def _on_proc_exit(self, sender, payload: dict) -> SimGen:
+        jobid, rank = payload["jobid"], payload["rank"]
+        job = self.universe.jobs.get(jobid)
+        if job is None:
+            return None
+        failed = payload.get("failed", False)
+        job.note_exit(rank, payload.get("result"), failed)
+        self.ckpt_ready.get(jobid, set()).discard(rank)
+        if failed:
+            init_queue = self._init_queues.get(jobid)
+            if init_queue is not None:
+                # Still mid-init: wake the launch so it can abort.
+                init_queue.put(
+                    {
+                        "launch_abort": (
+                            f"rank {rank} died during init: "
+                            f"{payload.get('result')}"
+                        )
+                    }
+                )
+            yield from self.errmgr.on_rank_failure(job, rank, payload.get("result"))
+        return None
+
+    def _on_ckpt_ready(self, sender, payload: dict) -> SimGen:
+        ready = self.ckpt_ready.setdefault(payload["jobid"], set())
+        if payload.get("ready", True):
+            ready.add(payload["rank"])
+        else:
+            ready.discard(payload["rank"])
+        yield from ()
+        return None
+
+    def _on_ckpt_request(self, sender, payload: dict) -> SimGen:
+        jobid = payload.get("jobid")
+        options = payload.get("options", {})
+        try:
+            job = self.universe.job(jobid)
+            ref = yield from self.snapc.global_checkpoint(self, job, options)
+            reply = {"ok": True, "snapshot": ref.path, "interval": job.next_interval - 1}
+        except ReproError as exc:
+            reply = {"ok": False, "error": str(exc)}
+        try:
+            yield from self.rml.send(
+                sender, TAG_CKPT_REPLY, self.rml.reply_to(payload, reply)
+            )
+        except NetworkError:
+            pass  # requester vanished; nothing to do
+        return None
+
+    def _on_restart_request(self, sender, payload: dict) -> SimGen:
+        try:
+            ref = GlobalSnapshotRef(payload["snapshot"])
+            job = yield from self.snapc.global_restart(
+                self, ref, payload.get("options", {})
+            )
+            reply = {"ok": True, "jobid": job.jobid}
+        except ReproError as exc:
+            reply = {"ok": False, "error": str(exc)}
+        try:
+            yield from self.rml.send(
+                sender, TAG_RESTART_REPLY, self.rml.reply_to(payload, reply)
+            )
+        except NetworkError:
+            pass
+        return None
+
+    def _on_migrate_request(self, sender, payload: dict) -> SimGen:
+        """Process migration (a paper section 8 extension): checkpoint
+        the job to stable storage, let it terminate, and restart it
+        with the requested rank→node placement."""
+        from repro.simenv.kernel import WaitEvent
+
+        from repro.orte.job import JobState
+        from repro.simenv.kernel import Delay
+        from repro.util.errors import CheckpointError
+
+        try:
+            job = self.universe.job(payload["jobid"])
+            # A periodic checkpoint may be in flight; wait it out.
+            for _attempt in range(200):
+                if job.state != JobState.CHECKPOINTING:
+                    break
+                yield Delay(0.01)
+            else:
+                raise CheckpointError(
+                    f"job {job.jobid} stuck checkpointing; cannot migrate"
+                )
+            ref = yield from self.snapc.global_checkpoint(
+                self, job, {"terminate": True}
+            )
+            if not job.is_done:
+                yield WaitEvent(job.done_event)
+            new_job = yield from self.snapc.global_restart(
+                self, ref, {"placement": payload.get("placement", {})}
+            )
+            reply = {"ok": True, "jobid": new_job.jobid, "snapshot": ref.path}
+        except ReproError as exc:
+            reply = {"ok": False, "error": str(exc)}
+        try:
+            yield from self.rml.send(
+                sender, TAG_MIGRATE_REPLY, self.rml.reply_to(payload, reply)
+            )
+        except NetworkError:
+            pass
+        return None
+
+    def _on_ps_request(self, sender, payload: dict) -> SimGen:
+        table = []
+        for job in self.universe.jobs.values():
+            table.append(
+                {
+                    "jobid": job.jobid,
+                    "app": job.app.name,
+                    "np": job.np,
+                    "state": job.state.value,
+                    "placements": dict(job.placements),
+                    "snapshots": [ref.path for ref in job.snapshots],
+                    "checkpointable": sorted(
+                        self.ckpt_ready.get(job.jobid, set())
+                    ),
+                }
+            )
+        try:
+            yield from self.rml.send(
+                sender, TAG_PS_REPLY, self.rml.reply_to(payload, {"jobs": table})
+            )
+        except NetworkError:
+            pass
+        return None

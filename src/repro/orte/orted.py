@@ -1,0 +1,132 @@
+"""orted — the per-node runtime daemon.
+
+Creates application processes on launch commands from the HNP, hosts
+the SNAPC *local coordinator* (paper Figure 1-C/D: initiate the
+checkpoint of each local process and relay the results), and watches
+its processes so exits and failures are reported upstream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.orte.job import ProcSpec
+from repro.orte.oob import (
+    RML,
+    TAG_LAUNCH,
+    TAG_LAUNCH_ACK,
+    TAG_PROC_EXIT,
+    TAG_SNAPC_LOCAL,
+    TAG_SNAPC_LOCAL_DONE,
+)
+from repro.simenv.kernel import SimGen, WaitEvent
+from repro.util.errors import NetworkError, ReproError
+from repro.util.ids import hnp_name
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.universe import Universe
+    from repro.simenv.process import SimProcess
+
+log = get_logger("orte.orted")
+
+
+class Orted:
+    """One node's runtime daemon."""
+
+    def __init__(self, universe: "Universe", proc: "SimProcess"):
+        self.universe = universe
+        self.proc = proc
+        self.node = proc.node
+        self.rml = RML(universe, proc)
+        self.registry = universe.make_registry()
+        self.snapc = self.registry.framework("snapc").open(
+            universe.params, context=self
+        )
+        self.local_procs: list["SimProcess"] = []
+        self.proc.spawn_thread(self._serve_launch(), name="orted-launch", daemon=True)
+        self.proc.spawn_thread(self._serve_snapc(), name="orted-snapc", daemon=True)
+
+    # -- launch ----------------------------------------------------------------
+
+    def _serve_launch(self) -> SimGen:
+        while True:
+            sender, payload = yield from self.rml.recv(TAG_LAUNCH)
+            try:
+                for spec in payload["specs"]:
+                    self._create_proc(spec)
+                reply = {"ok": True}
+            except ReproError as exc:
+                reply = {"ok": False, "error": str(exc)}
+            yield from self.rml.send(
+                sender, TAG_LAUNCH_ACK, self.rml.reply_to(payload, reply)
+            )
+
+    def _create_proc(self, spec: ProcSpec) -> "SimProcess":
+        from repro.ompi.launch import build_app_process
+
+        proc = build_app_process(self.universe, self.node, spec)
+        self.local_procs.append(proc)
+        self.proc.spawn_thread(
+            self._watch(proc, spec), name=f"orted-watch-{spec.rank}", daemon=True
+        )
+        log.debug("%s: launched %s", self.node.name, proc.label)
+        return proc
+
+    def _watch(self, proc: "SimProcess", spec: ProcSpec) -> SimGen:
+        failed = False
+        result = None
+        try:
+            result = yield WaitEvent(proc.exit_event)
+        except GeneratorExit:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            failed = True
+            result = f"{type(exc).__name__}: {exc}"
+        self.universe.deregister(proc.name)
+        if proc in self.local_procs:
+            self.local_procs.remove(proc)
+        try:
+            yield from self.rml.send(
+                hnp_name(),
+                TAG_PROC_EXIT,
+                {
+                    "jobid": spec.jobid,
+                    "rank": spec.rank,
+                    "failed": failed,
+                    "result": result,
+                },
+            )
+        except NetworkError:
+            pass  # we are probably going down with the node
+        return None
+
+    # -- SNAPC local coordinator -------------------------------------------------
+
+    def _serve_snapc(self) -> SimGen:
+        while True:
+            sender, payload = yield from self.rml.recv(TAG_SNAPC_LOCAL)
+            self.proc.spawn_thread(
+                self._handle_snapc(sender, payload),
+                name="orted-snapc-worker",
+                daemon=True,
+            )
+
+    def _handle_snapc(self, sender, payload: dict) -> SimGen:
+        # Payload rank/target keys may have been stringified in transit.
+        payload = dict(payload)
+        payload["targets"] = {
+            int(k): v for k, v in payload.get("targets", {}).items()
+        }
+        try:
+            results = yield from self.snapc.local_checkpoint(self, payload)
+            reply = {"ok": True, "results": results}
+        except ReproError as exc:
+            reply = {"ok": False, "error": str(exc), "results": {}}
+        try:
+            yield from self.rml.send(
+                sender, TAG_SNAPC_LOCAL_DONE, self.rml.reply_to(payload, reply)
+            )
+        except NetworkError:
+            pass
+        return None

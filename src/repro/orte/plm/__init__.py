@@ -1,0 +1,13 @@
+"""PLM — process lifecycle management (launch) framework.
+
+The MCA example from paper section 3: the process-launch framework has
+interchangeable components (SLURM, RSH).  Both are reproduced: ``rsh``
+pays a per-node remote-shell session cost with bounded concurrency,
+``slurm`` pays one cheap batched allocation call.
+"""
+
+from repro.orte.plm.base import PLMComponent, register_plm_components
+from repro.orte.plm.rsh import RshPLM
+from repro.orte.plm.slurm import SlurmPLM
+
+__all__ = ["PLMComponent", "register_plm_components", "RshPLM", "SlurmPLM"]

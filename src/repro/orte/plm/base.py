@@ -1,0 +1,97 @@
+"""PLM framework base.
+
+``launch`` runs at the HNP: it groups the job's :class:`ProcSpec`s by
+node, contacts each node's orted over RML, and waits for
+acknowledgements.  Components control the cost and concurrency of the
+node contacts (the part that is ``rsh`` vs ``slurm`` in real life).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import Component
+from repro.orte.job import ProcSpec
+from repro.orte.oob import TAG_LAUNCH, TAG_LAUNCH_ACK
+from repro.simenv.kernel import Delay, SimGen, WaitEvent, join_all
+from repro.util.errors import LaunchError, ReproError
+from repro.util.ids import daemon_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+    from repro.orte.hnp import HNP
+
+
+class PLMComponent(Component):
+    """Base class for launch components."""
+
+    framework_name = "plm"
+    #: serial cost of contacting one node (component-specific)
+    per_node_cost_s = 0.0
+    #: how many node contacts may be in flight at once
+    max_concurrency = 1
+
+    def launch(self, hnp: "HNP", specs: list[ProcSpec]) -> SimGen:
+        """Launch all *specs*; returns when every orted has ACKed."""
+        by_node: dict[str, list[ProcSpec]] = {}
+        for spec in specs:
+            by_node.setdefault(spec.node_name, []).append(spec)
+
+        kernel = hnp.proc.kernel
+        slots = {"free": self.max_concurrency}
+        slot_event = [kernel.event("plm.slot")]
+        done_events = []
+        # Failures are collected rather than raised so that every node
+        # contact settles before launch reports the error — otherwise a
+        # fast failure would let slower contacts create orphan ranks
+        # after the caller has already cleaned up.
+        errors: list[str] = []
+
+        def contact(node_name: str, node_specs: list[ProcSpec]) -> SimGen:
+            while slots["free"] <= 0:
+                yield WaitEvent(slot_event[0])
+            slots["free"] -= 1
+            try:
+                if self.per_node_cost_s:
+                    yield Delay(self.per_node_cost_s)
+                index = int(node_name.replace("node", ""))
+                _, reply = yield from hnp.rml.rpc(
+                    daemon_name(index),
+                    TAG_LAUNCH,
+                    {"specs": node_specs},
+                    TAG_LAUNCH_ACK,
+                )
+                if not reply.get("ok", False):
+                    errors.append(
+                        f"orted on {node_name} refused launch: "
+                        f"{reply.get('error', 'unknown')}"
+                    )
+            except ReproError as exc:
+                errors.append(f"{node_name}: {exc}")
+            finally:
+                slots["free"] += 1
+                old, slot_event[0] = slot_event[0], kernel.event("plm.slot")
+                if not old.fired:
+                    old.fire(None)
+            return node_name
+
+        for node_name, node_specs in sorted(by_node.items()):
+            thread = hnp.proc.spawn_thread(
+                contact(node_name, node_specs),
+                name=f"plm-launch-{node_name}",
+                daemon=True,
+            )
+            done_events.append(thread.done)
+        joined = join_all(done_events, kernel, name="plm.launch")
+        yield WaitEvent(joined)
+        if errors:
+            raise LaunchError("; ".join(errors))
+        return len(by_node)
+
+
+def register_plm_components(registry: "FrameworkRegistry") -> None:
+    from repro.orte.plm.rsh import RshPLM
+    from repro.orte.plm.slurm import SlurmPLM
+
+    registry.add_component("plm", RshPLM)
+    registry.add_component("plm", SlurmPLM)

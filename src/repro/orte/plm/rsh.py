@@ -1,0 +1,19 @@
+"""``rsh`` PLM component: remote-shell launch.
+
+Each node contact opens an rsh/ssh session (tens of milliseconds) with
+bounded concurrency (``plm_rsh_num_concurrent``), like Open MPI's
+``plm_rsh_num_concurrent`` default behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.orte.plm.base import PLMComponent
+
+
+@component_of("plm", "rsh", priority=10)
+class RshPLM(PLMComponent):
+    def open(self, context: object | None = None) -> None:
+        super().open(context)
+        self.per_node_cost_s = self.params.get_float("plm_rsh_session_cost", 0.030)
+        self.max_concurrency = self.params.get_int("plm_rsh_num_concurrent", 8)

@@ -1,0 +1,24 @@
+"""``slurm`` PLM component: batch-scheduler launch.
+
+One cheap allocation call covers all nodes (the scheduler already has
+daemons everywhere), so node contacts are fast and fully concurrent.
+Selected automatically when the environment advertises a SLURM
+allocation (``plm_slurm_jobid`` parameter set), mirroring Open MPI's
+environment-sensing selection.
+"""
+
+from __future__ import annotations
+
+from repro.mca.component import component_of
+from repro.orte.plm.base import PLMComponent
+
+
+@component_of("plm", "slurm", priority=20)
+class SlurmPLM(PLMComponent):
+    def query(self, context: object | None = None) -> bool:
+        return "plm_slurm_jobid" in self.params
+
+    def open(self, context: object | None = None) -> None:
+        super().open(context)
+        self.per_node_cost_s = self.params.get_float("plm_slurm_step_cost", 0.005)
+        self.max_concurrency = self.params.get_int("plm_slurm_num_concurrent", 64)

@@ -1,0 +1,19 @@
+"""SNAPC — snapshot coordinator framework (paper sections 5.1, 6.1).
+
+Launches, monitors, and aggregates distributed checkpoint requests.
+The ``full`` component reproduces the paper's centralized design with
+three sub-coordinators: the **global coordinator** in mpirun, a **local
+coordinator** in each orted, and an **application coordinator** (the
+notification thread) in each application process.
+"""
+
+from repro.orte.snapc.base import SNAPCComponent, register_snapc_components
+from repro.orte.snapc.full import FullSNAPC
+from repro.orte.snapc.none_snapc import NoneSNAPC
+
+__all__ = [
+    "SNAPCComponent",
+    "register_snapc_components",
+    "FullSNAPC",
+    "NoneSNAPC",
+]

@@ -1,0 +1,421 @@
+"""``full`` SNAPC component — the paper's centralized coordinator.
+
+Reproduces Figure 1's message flow:
+
+* **A** — a tool (or an application's synchronous request) reaches the
+  global coordinator in mpirun over OOB;
+* **B/C** — the global coordinator fans the request to the local
+  coordinators (orteds), which relay it to the application coordinators
+  (the checkpoint notification threads);
+* **D/E** — completion notifications flow back up;
+* **F** — the global coordinator drives FILEM to aggregate the local
+  snapshots into the global snapshot on stable storage;
+* **A** — the global snapshot reference is returned to the requester.
+
+Section 5.1's veto rule is enforced before anything happens: if any
+process in the request is not checkpointable, the request fails and no
+process is affected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mca.component import component_of
+from repro.mca.params import MCAParams
+from repro.orte.job import AppSpec, JobState, ProcSpec
+from repro.orte.oob import (
+    TAG_CKPT_ABORT,
+    TAG_CKPT_DO,
+    TAG_CKPT_DONE,
+    TAG_CKPT_TERM_ACK,
+    TAG_SNAPC_LOCAL,
+    TAG_SNAPC_LOCAL_DONE,
+)
+from repro.orte.snapc.base import SNAPCComponent
+from repro.simenv.kernel import Delay, WaitEvent, first_of, join_all
+from repro.snapshot import (
+    GlobalSnapshotMeta,
+    GlobalSnapshotRef,
+    global_snapshot_dirname,
+    read_global_meta,
+    write_global_meta,
+)
+from repro.util.errors import (
+    CheckpointError,
+    NetworkError,
+    NotCheckpointableError,
+    RestartError,
+)
+from repro.util.ids import ProcessName, daemon_name
+from repro.util.logging import get_logger
+from repro.vfs import path as vpath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+    from repro.orte.job import Job
+    from repro.orte.orted import Orted
+    from repro.simenv.kernel import SimGen
+
+log = get_logger("orte.snapc")
+
+SNAPSHOT_ROOT = "/snapshots"
+LOCAL_STAGING_ROOT = "/ckpt"
+RESTART_STAGING_ROOT = "/restart"
+
+
+@component_of("snapc", "full", priority=10)
+class FullSNAPC(SNAPCComponent):
+    # ------------------------------------------------------------------
+    # Global coordinator (runs in mpirun)
+    # ------------------------------------------------------------------
+
+    def global_checkpoint(self, hnp: "HNP", job: "Job", options: dict) -> "SimGen":
+        if job.state != JobState.RUNNING:
+            raise CheckpointError(
+                f"job {job.jobid} is {job.state.value}, cannot checkpoint"
+            )
+        # Readiness registrations travel over OOB and may still be in
+        # flight when a request arrives just after launch; give them a
+        # short grace period before applying the section-5.1 veto.
+        grace = self.params.get_float("snapc_full_ready_grace", 0.05)
+        deadline = hnp.proc.kernel.now + grace
+        while True:
+            ready = hnp.ckpt_ready.get(job.jobid, set())
+            missing = sorted(set(range(job.np)) - ready)
+            if not missing:
+                break
+            if hnp.proc.kernel.now >= deadline or job.state != JobState.RUNNING:
+                # Section 5.1: notify the user; affect no process.
+                raise NotCheckpointableError(
+                    [str(ProcessName(job.jobid, r)) for r in missing]
+                )
+            yield Delay(grace / 10)
+
+        interval = job.next_interval
+        job.next_interval += 1
+        job.state = JobState.CHECKPOINTING
+        terminate = bool(options.get("terminate", False))
+        job.halting = terminate
+        stable = hnp.universe.cluster.stable_fs
+        global_dir = vpath.join(
+            SNAPSHOT_ROOT, global_snapshot_dirname(job.jobid, interval)
+        )
+        stable.mkdir(global_dir)
+        ref = GlobalSnapshotRef(global_dir)
+        direct_stable = hnp.filem.wants_direct_stable
+
+        # Fan out to the local coordinators, one RPC per involved node.
+        by_node: dict[str, list[int]] = {}
+        for rank, node_name in job.placements.items():
+            by_node.setdefault(node_name, []).append(rank)
+
+        results: dict[int, dict] = {}
+        errors: list[str] = []
+        abort_sent = {"done": False}
+
+        def broadcast_abort() -> "SimGen":
+            """One rank vetoed mid-flight: release everyone else."""
+            if abort_sent["done"]:
+                return None
+            abort_sent["done"] = True
+            for rank in range(job.np):
+                try:
+                    yield from hnp.rml.send(
+                        ProcessName(job.jobid, rank), TAG_CKPT_ABORT, {}
+                    )
+                except NetworkError:
+                    continue
+            return None
+
+        def contact(node_name: str, ranks: list[int]) -> "SimGen":
+            targets = {}
+            for rank in ranks:
+                if direct_stable:
+                    targets[rank] = {"fs": "stable", "dir": ref.local_dir(rank)}
+                else:
+                    targets[rank] = {
+                        "fs": "local",
+                        "dir": vpath.join(
+                            LOCAL_STAGING_ROOT,
+                            f"job{job.jobid}",
+                            f"interval{interval}",
+                            f"rank{rank}",
+                        ),
+                    }
+            index = int(node_name.replace("node", ""))
+            try:
+                _, reply = yield from hnp.rml.rpc(
+                    daemon_name(index),
+                    TAG_SNAPC_LOCAL,
+                    {
+                        "jobid": job.jobid,
+                        "interval": interval,
+                        "ranks": ranks,
+                        "targets": targets,
+                        "terminate": terminate,
+                        "options": dict(options),
+                    },
+                    TAG_SNAPC_LOCAL_DONE,
+                )
+            except NetworkError as exc:
+                errors.append(f"{node_name}: {exc}")
+                yield from broadcast_abort()
+                return None
+            failed_here = False
+            for rank_str, result in reply.get("results", {}).items():
+                rank = int(rank_str)
+                if result.get("ok"):
+                    results[rank] = result
+                else:
+                    errors.append(f"rank {rank}: {result.get('error')}")
+                    failed_here = True
+            if failed_here:
+                yield from broadcast_abort()
+            return None
+
+        events = []
+        for node_name, ranks in sorted(by_node.items()):
+            thread = hnp.proc.spawn_thread(
+                contact(node_name, ranks),
+                name=f"snapc-global-{node_name}",
+                daemon=True,
+            )
+            events.append(thread.done)
+        joined = join_all(events, hnp.proc.kernel, name="snapc.global")
+        yield WaitEvent(joined)
+
+        if errors or len(results) != job.np:
+            job.halting = False
+            if job.state == JobState.CHECKPOINTING:
+                job.state = JobState.RUNNING
+            raise CheckpointError(
+                f"checkpoint of job {job.jobid} failed: "
+                + "; ".join(errors or ["missing local snapshots"])
+            )
+
+        # Figure 1-F: aggregate local snapshots onto stable storage
+        # while the application resumes normal operation.
+        if not direct_stable:
+            gather_entries = [
+                (results[rank]["node"], results[rank]["path"], ref.local_dir(rank))
+                for rank in sorted(results)
+            ]
+            yield from hnp.filem.gather(hnp, gather_entries)
+            # Remove the staged local copies.
+            yield from hnp.filem.remove(
+                hnp,
+                [(results[r]["node"], results[r]["path"]) for r in sorted(results)],
+            )
+
+        meta = GlobalSnapshotMeta(
+            jobid=job.jobid,
+            interval=interval,
+            n_procs=job.np,
+            sim_time=hnp.proc.kernel.now,
+            app_name=job.app.name,
+            app_args=dict(job.app.args),
+            mca_params=job.params.to_dict(),
+            locals={
+                rank: {
+                    "path": ref.local_dir(rank),
+                    "node": results[rank]["node"],
+                    "crs": results[rank]["crs"],
+                    "os_tag": results[rank]["os_tag"],
+                    "portable": results[rank].get("portable", True),
+                    "last_rank": rank,
+                }
+                for rank in sorted(results)
+            },
+        )
+        yield from write_global_meta(stable, ref, meta)
+        job.snapshots.append(ref)
+        if not terminate and job.state == JobState.CHECKPOINTING:
+            job.state = JobState.RUNNING
+        log.info(
+            "job %d checkpoint interval %d complete -> %s",
+            job.jobid,
+            interval,
+            ref.path,
+        )
+        return ref
+
+    # ------------------------------------------------------------------
+    # Restart (global coordinator side)
+    # ------------------------------------------------------------------
+
+    def global_restart(self, hnp: "HNP", ref: GlobalSnapshotRef, options: dict) -> "SimGen":
+        from repro.apps.registry import has_app
+
+        universe = hnp.universe
+        stable = universe.cluster.stable_fs
+        meta = yield from read_global_meta(stable, ref)
+        if not has_app(meta.app_name):
+            raise RestartError(
+                f"snapshot references unknown application {meta.app_name!r}"
+            )
+        app = AppSpec(meta.app_name, dict(meta.app_args))
+        params = MCAParams.from_dict(meta.mca_params)
+        # Allow the restart request to override selected parameters
+        # (e.g. a different BTL on the new topology).
+        for key, value in options.get("mca_overrides", {}).items():
+            params.set(key, value)
+        job = universe.create_job(app, meta.n_procs, params)
+        job.restarted_from = ref
+
+        placements = self._plan_restart_placement(
+            universe, meta, options.get("placement")
+        )
+        direct_stable = hnp.filem.wants_direct_stable
+
+        specs: list[ProcSpec] = []
+        bcast_entries: list[tuple[str, str, str]] = []
+        for rank in range(meta.n_procs):
+            node_name = placements[rank]
+            src_dir = meta.locals[rank]["path"]
+            if direct_stable:
+                restart_from = {"fs": "stable", "dir": src_dir}
+            else:
+                dst_dir = vpath.join(
+                    RESTART_STAGING_ROOT, f"job{job.jobid}", f"rank{rank}"
+                )
+                bcast_entries.append((node_name, src_dir, dst_dir))
+                restart_from = {"fs": "local", "dir": dst_dir}
+            specs.append(
+                ProcSpec(
+                    jobid=job.jobid,
+                    rank=rank,
+                    node_name=node_name,
+                    app=app,
+                    restart_from=restart_from,
+                )
+            )
+
+        # Preload checkpoint files on the target machines (section 5.2).
+        if bcast_entries:
+            yield from hnp.filem.broadcast(hnp, bcast_entries)
+
+        yield from hnp.launch_and_init(job, specs)
+        log.info(
+            "job %d restarted from %s as job %d", meta.jobid, ref.path, job.jobid
+        )
+        return job
+
+    @staticmethod
+    def _plan_restart_placement(
+        universe, meta: GlobalSnapshotMeta, forced: dict | None = None
+    ) -> dict[int, str]:
+        """Map ranks to up nodes, honouring image portability.
+
+        Prefer the origin node when it is still up; otherwise place on
+        any up node whose OS tag matches (or any node if the image is
+        portable) — restarting "in new process topologies" per section
+        6.3.  ``forced`` (rank -> node name) overrides the preference
+        per rank — the migration path — but still respects portability.
+        """
+        up = [n for n in universe.cluster.nodes if n.up]
+        if not up:
+            raise RestartError("no nodes available for restart")
+        forced = {int(k): v for k, v in (forced or {}).items()}
+        placements: dict[int, str] = {}
+        spill = 0
+        for rank in range(meta.n_procs):
+            info = meta.locals.get(rank)
+            if info is None:
+                raise RestartError(f"global snapshot missing rank {rank}")
+            if rank in forced:
+                target = next((n for n in up if n.name == forced[rank]), None)
+                if target is None:
+                    raise RestartError(
+                        f"rank {rank}: requested node {forced[rank]} is not up"
+                    )
+                portable = bool(info.get("portable", True))
+                if not portable and target.os_tag != info.get("os_tag"):
+                    raise RestartError(
+                        f"rank {rank}: image ({info.get('os_tag')}) is not "
+                        f"portable to {target.name} ({target.os_tag})"
+                    )
+                placements[rank] = target.name
+                continue
+            origin = info["node"]
+            origin_node = next((n for n in up if n.name == origin), None)
+            if origin_node is not None:
+                placements[rank] = origin
+                continue
+            portable = bool(info.get("portable", True))
+            candidates = [
+                n for n in up if portable or n.os_tag == info.get("os_tag")
+            ]
+            if not candidates:
+                raise RestartError(
+                    f"rank {rank}: image from {origin} ({info.get('os_tag')}) "
+                    "has no compatible up node"
+                )
+            placements[rank] = candidates[spill % len(candidates)].name
+            spill += 1
+        return placements
+
+    # ------------------------------------------------------------------
+    # Local coordinator (runs in each orted)
+    # ------------------------------------------------------------------
+
+    def local_checkpoint(self, orted: "Orted", payload: dict) -> "SimGen":
+        jobid = payload["jobid"]
+        results: dict[int, dict] = {}
+
+        def one_rank(rank: int) -> "SimGen":
+            target = payload["targets"][rank]
+            name = ProcessName(jobid, rank)
+            proc = orted.universe.lookup(name)
+            if proc is None:
+                results[rank] = {"ok": False, "error": f"{name} not found"}
+                return None
+            request = {
+                "interval": payload["interval"],
+                "fs": target["fs"],
+                "dir": target["dir"],
+                "terminate": payload["terminate"],
+                "options": payload.get("options", {}),
+            }
+
+            def do_rpc() -> "SimGen":
+                _, reply = yield from orted.rml.rpc(
+                    name, TAG_CKPT_DO, request, TAG_CKPT_DONE
+                )
+                return reply
+
+            rpc_thread = orted.proc.spawn_thread(
+                do_rpc(), name=f"snapc-local-rpc-{rank}", daemon=True
+            )
+            race = first_of(
+                orted.proc.kernel,
+                [rpc_thread.done, proc.exit_event],
+                name=f"snapc-local-race-{rank}",
+            )
+            index, value, exc = yield WaitEvent(race)
+            if index == 0 and exc is None and value is not None:
+                results[rank] = value
+                if payload["terminate"] and value.get("ok"):
+                    try:
+                        yield from orted.rml.send(name, TAG_CKPT_TERM_ACK, {})
+                    except NetworkError:
+                        pass
+            elif index == 1:
+                rpc_thread.kill()
+                results[rank] = {
+                    "ok": False,
+                    "error": f"{name} exited during checkpoint",
+                }
+            else:
+                results[rank] = {"ok": False, "error": str(exc or "rpc failed")}
+            return None
+
+        events = []
+        for rank in payload["ranks"]:
+            thread = orted.proc.spawn_thread(
+                one_rank(rank), name=f"snapc-local-{rank}", daemon=True
+            )
+            events.append(thread.done)
+        joined = join_all(events, orted.proc.kernel, name="snapc.local")
+        yield WaitEvent(joined)
+        return {str(rank): result for rank, result in results.items()}

@@ -1,0 +1,159 @@
+"""The ORTE universe: HNP + per-node daemons + the job table.
+
+``Universe`` boots the runtime over a :class:`repro.simenv.Cluster`:
+one **HNP** ("head node process", the ``mpirun`` analogue) on the first
+node and one **orted** daemon per node, all addressable over the OOB
+control plane.  It also plays the role of Open MPI's name service —
+mapping :class:`ProcessName` to live processes — and allocates jobids.
+
+Everything user-facing goes through the tools layer
+(:mod:`repro.tools`): ``ompi_run`` submits jobs here, and
+``ompi-checkpoint``/``ompi-restart`` talk RML to the HNP exactly as the
+paper's command-line tools talk to ``mpirun`` (Figure 1-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable
+
+from repro.mca.params import MCAParams
+from repro.orte.job import AppSpec, Job
+from repro.util.errors import LaunchError
+from repro.util.ids import DAEMON_JOBID, ProcessName, daemon_name, hnp_name
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mca.registry import FrameworkRegistry
+    from repro.orte.hnp import HNP
+    from repro.orte.orted import Orted
+    from repro.orte.oob import RML
+    from repro.simenv.cluster import Cluster
+    from repro.simenv.process import SimProcess
+
+log = get_logger("orte.universe")
+
+#: jobid used for tool processes (ompi-checkpoint etc.)
+TOOL_JOBID = 999
+
+
+class Universe:
+    """One booted runtime over one cluster."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        params: MCAParams | None = None,
+        make_registry: Callable[[], "FrameworkRegistry"] | None = None,
+    ):
+        from repro.mca.registry import default_registry
+
+        self.cluster = cluster
+        self.kernel = cluster.kernel
+        self.params = params or MCAParams()
+        self.make_registry = make_registry or default_registry
+        self._next_jobid = itertools.count(1)
+        self._next_tool_vpid = itertools.count(0)
+        self.jobs: dict[int, Job] = {}
+        #: name service: ProcessName -> SimProcess
+        self.directory: dict[ProcessName, "SimProcess"] = {}
+        self.hnp: "HNP | None" = None
+        self.orteds: dict[str, "Orted"] = {}
+        self._boot()
+
+    # -- boot ------------------------------------------------------------------
+
+    def _boot(self) -> None:
+        from repro.orte.hnp import HNP
+        from repro.orte.orted import Orted
+        from repro.simenv.process import SimProcess
+
+        hnp_node = self.cluster.nodes[0]
+        hnp_proc = SimProcess(hnp_node, hnp_name(), label="mpirun")
+        self.register(hnp_proc)
+        self.hnp = HNP(self, hnp_proc)
+        for i, node in enumerate(self.cluster.nodes):
+            orted_proc = SimProcess(node, daemon_name(i), label=f"orted@{node.name}")
+            self.register(orted_proc)
+            self.orteds[node.name] = Orted(self, orted_proc)
+
+    # -- name service ---------------------------------------------------------
+
+    def register(self, proc: "SimProcess") -> None:
+        self.directory[proc.name] = proc
+
+    def deregister(self, name: ProcessName) -> None:
+        self.directory.pop(name, None)
+
+    def lookup(self, name: ProcessName) -> "SimProcess | None":
+        proc = self.directory.get(name)
+        if proc is not None and not proc.alive:
+            return None
+        return proc
+
+    def lookup_rml(self, name: ProcessName) -> "RML | None":
+        proc = self.lookup(name)
+        if proc is None:
+            return None
+        return proc.maybe_service("rml")
+
+    # -- ids --------------------------------------------------------------------
+
+    def new_jobid(self) -> int:
+        return next(self._next_jobid)
+
+    def new_tool_name(self) -> ProcessName:
+        return ProcessName(TOOL_JOBID, next(self._next_tool_vpid))
+
+    # -- jobs ------------------------------------------------------------------
+
+    def create_job(self, app: AppSpec, np: int, params: MCAParams | None = None) -> Job:
+        if np < 1:
+            raise LaunchError("np must be >= 1")
+        merged = self.params.copy()
+        if params is not None:
+            merged.update(params)
+        job = Job(self.new_jobid(), app, np, merged)
+        job.done_event = self.kernel.event(f"job{job.jobid}.done")
+        self.jobs[job.jobid] = job
+        return job
+
+    def submit(self, app: AppSpec, np: int, params: MCAParams | None = None) -> Job:
+        """Create a job and hand it to the HNP for launching."""
+        job = self.create_job(app, np, params)
+        assert self.hnp is not None
+        self.hnp.submit(job)
+        return job
+
+    def job(self, jobid: int) -> Job:
+        try:
+            return self.jobs[jobid]
+        except KeyError:
+            raise LaunchError(f"no job {jobid}") from None
+
+    # -- convenience -------------------------------------------------------------
+
+    def orted_for(self, node_name: str) -> "Orted":
+        try:
+            return self.orteds[node_name]
+        except KeyError:
+            raise LaunchError(f"no orted on node {node_name}") from None
+
+    @property
+    def daemon_names(self) -> list[ProcessName]:
+        return [
+            name
+            for name in self.directory
+            if name.jobid == DAEMON_JOBID and not name.is_hnp
+        ]
+
+    def run_job_to_completion(self, job: Job):
+        """Drive the kernel until *job* finishes; returns its state."""
+        from repro.simenv.kernel import WaitEvent
+
+        def waiter():
+            state = yield from job.wait()
+            return state
+
+        thread = self.kernel.spawn(waiter(), name=f"wait-job{job.jobid}")
+        return self.kernel.run_until_complete(thread)

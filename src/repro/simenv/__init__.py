@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper's system ran on a real Linux cluster; this reproduction runs
+on a deterministic discrete-event simulation of one.  The kernel
+(:mod:`repro.simenv.kernel`) schedules *threads* — Python generators
+that yield blocking syscalls (``Delay``, ``WaitEvent``) — under a
+virtual clock.  Processes (:mod:`repro.simenv.process`) are containers
+of threads pinned to nodes (:mod:`repro.simenv.node`), matching the
+paper's model where each MPI process hosts both application threads and
+a checkpoint *notification thread*.
+"""
+
+from repro.simenv.kernel import (
+    Delay,
+    Kernel,
+    Queue,
+    SimEvent,
+    SimThread,
+    Syscall,
+    WaitEvent,
+)
+from repro.simenv.node import Node
+from repro.simenv.process import SimProcess
+from repro.simenv.cluster import Cluster, ClusterSpec
+from repro.simenv.rng import RngStream
+from repro.simenv.failure import FailureInjector, FailureSchedule
+
+__all__ = [
+    "Delay",
+    "Kernel",
+    "Queue",
+    "SimEvent",
+    "SimThread",
+    "Syscall",
+    "WaitEvent",
+    "Node",
+    "SimProcess",
+    "Cluster",
+    "ClusterSpec",
+    "RngStream",
+    "FailureInjector",
+    "FailureSchedule",
+]

@@ -1,0 +1,102 @@
+"""Failure injection.
+
+Schedules node crashes and single-process kills at chosen simulated
+times, or at random times drawn from an exponential distribution —
+the failure model the rollback-recovery literature assumes.  Used by
+the recovery integration tests and the restart experiments: crash a
+node after a checkpoint interval, then drive ``ompi-restart`` from the
+surviving global snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.errors import ProcessFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.cluster import Cluster
+    from repro.simenv.process import SimProcess
+
+
+@dataclass
+class FailureSchedule:
+    """A declarative list of (time, kind, target) failures."""
+
+    node_crashes: list[tuple[float, str]] = field(default_factory=list)
+    process_kills: list[tuple[float, int]] = field(default_factory=list)
+
+    def crash_node(self, at: float, node_name: str) -> "FailureSchedule":
+        self.node_crashes.append((at, node_name))
+        return self
+
+    def kill_pid(self, at: float, pid: int) -> "FailureSchedule":
+        self.process_kills.append((at, pid))
+        return self
+
+
+class FailureInjector:
+    """Arms failure events against a cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.injected: list[tuple[float, str]] = []
+        self._on_failure: list[Callable[[str], None]] = []
+
+    def on_failure(self, callback: Callable[[str], None]) -> None:
+        """Register an observer (the error manager subscribes here)."""
+        self._on_failure.append(callback)
+
+    def _notify(self, description: str) -> None:
+        self.injected.append((self.cluster.kernel.now, description))
+        for cb in list(self._on_failure):
+            cb(description)
+
+    # -- direct (immediate) ---------------------------------------------------
+
+    def crash_node_now(self, node_name: str) -> None:
+        node = self.cluster.node(node_name)
+        node.crash()
+        self._notify(f"node:{node_name}")
+
+    def kill_process_now(self, proc: "SimProcess") -> None:
+        proc.kill(ProcessFailedError(f"{proc.label} killed by injector"))
+        self._notify(f"process:{proc.label}")
+
+    # -- scheduled -----------------------------------------------------------
+
+    def crash_node_at(self, at: float, node_name: str) -> None:
+        self.cluster.kernel.call_at(at, lambda: self.crash_node_now(node_name))
+
+    def kill_process_at(self, at: float, proc: "SimProcess") -> None:
+        def fire() -> None:
+            if proc.alive:
+                self.kill_process_now(proc)
+
+        self.cluster.kernel.call_at(at, fire)
+
+    def arm(self, schedule: FailureSchedule) -> None:
+        for at, node_name in schedule.node_crashes:
+            self.crash_node_at(at, node_name)
+        for at, pid in schedule.process_kills:
+            target = None
+            for node in self.cluster.nodes:
+                for proc in node.processes:
+                    if proc.pid == pid:
+                        target = proc
+            if target is not None:
+                self.kill_process_at(at, target)
+
+    def arm_random_node_crash(
+        self, mean_time_s: float, stream: str = "failures"
+    ) -> float:
+        """Crash one random node at an exponentially distributed time.
+
+        Returns the chosen time (deterministic given the seed).
+        """
+        rng = self.cluster.rng(stream)
+        at = self.cluster.kernel.now + rng.exponential(mean_time_s)
+        victim = rng.choice([n.name for n in self.cluster.up_nodes])
+        self.crash_node_at(at, victim)
+        return at

@@ -1,0 +1,437 @@
+"""Discrete-event kernel: virtual clock, threads, events.
+
+Threads are Python generators driven by the kernel.  A thread yields
+:class:`Syscall` objects to block:
+
+* ``Delay(seconds)`` — resume after simulated time elapses.
+* ``WaitEvent(event)`` — resume when ``event.fire(value)`` is called;
+  the yield expression evaluates to *value*.  ``event.fail(exc)``
+  resumes the waiter by raising *exc* inside the generator, so failures
+  propagate as ordinary exceptions.
+
+Higher layers build blocking operations as generator functions that
+``yield``/``yield from`` down to these two primitives, SimPy-style.
+
+Determinism: the event queue breaks time ties with a monotonically
+increasing sequence number, so two runs with the same inputs schedule
+identically.  There is no real-time anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.util.errors import DeadlockError, SimError
+from repro.util.logging import get_logger
+
+log = get_logger("simenv.kernel")
+
+#: Type of kernel-driven coroutines.
+SimGen = Generator["Syscall", Any, Any]
+
+
+class Syscall:
+    """Base class of objects a thread may yield to the kernel."""
+
+    __slots__ = ()
+
+
+class Delay(Syscall):
+    """Block the yielding thread for ``seconds`` of simulated time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("cannot delay for negative time")
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Delay({self.seconds})"
+
+
+class WaitEvent(Syscall):
+    """Block the yielding thread until the event fires (or fails)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent"):
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitEvent({self.event})"
+
+
+class SimEvent:
+    """One-shot event: fires once with a value or an exception.
+
+    Threads that wait after the event has already fired resume
+    immediately with the stored outcome (future semantics).
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_exc", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._waiters: list[SimThread] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._release()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._fired:
+            raise SimError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._exc = exc
+        self._release()
+
+    def _release(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for thread in waiters:
+            thread._kernel._resume(thread, self._value, self._exc)
+
+    def _add_waiter(self, thread: "SimThread") -> None:
+        if self._fired:
+            thread._kernel._resume(thread, self._value, self._exc)
+        else:
+            self._waiters.append(thread)
+
+    def _discard_waiter(self, thread: "SimThread") -> None:
+        try:
+            self._waiters.remove(thread)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "fired" if self._fired else f"{len(self._waiters)} waiters"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Queue:
+    """Unbounded FIFO mailbox with blocking ``get``.
+
+    ``put`` never blocks.  ``get()`` is a generator to be used as
+    ``item = yield from queue.get()``.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str = ""):
+        self._kernel = kernel
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[SimEvent] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimGen:
+        if self._items:
+            return_value = self._items.pop(0)
+            if False:  # pragma: no cover - keeps this a generator fn
+                yield
+            return return_value
+        event = SimEvent(f"queue.get:{self.name}")
+        self._getters.append(event)
+        received = False
+        try:
+            value = yield WaitEvent(event)
+            received = True
+            return value
+        finally:
+            if not received:
+                # The getter was abandoned (its thread killed while
+                # blocked).  If an item was already routed to it, put
+                # the item back at the FRONT of the queue — it was the
+                # oldest; otherwise withdraw the stale getter so a
+                # future ``put`` does not fire into the void.
+                if event.fired:
+                    self._items.insert(0, event._value)
+                else:
+                    try:
+                        self._getters.remove(event)
+                    except ValueError:
+                        pass
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.pop(0)
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class SimThread:
+    """A kernel-scheduled coroutine.
+
+    ``daemon`` threads do not keep the simulation alive and are not
+    counted by deadlock detection — the runtime's service loops (orted
+    message pumps, coordinator listeners) are daemons.
+    """
+
+    _ids = iter(range(1, 1 << 60))
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        gen: SimGen,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        self._kernel = kernel
+        self._gen = gen
+        self.tid = next(SimThread._ids)
+        self.name = name or f"thread-{self.tid}"
+        self.daemon = daemon
+        self.alive = True
+        self.blocked_on: Syscall | None = None
+        self.done = SimEvent(f"done:{self.name}")
+        self.result: Any = None
+
+    def kill(self, exc: BaseException | None = None) -> None:
+        """Terminate the thread without running further user code.
+
+        Any thread waiting on :attr:`done` is failed with *exc* (or a
+        generic :class:`SimError`).  Killing the *currently executing*
+        thread (e.g. a process main calling ``proc.exit()``) marks it
+        dead but lets its generator unwind naturally.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if isinstance(self.blocked_on, WaitEvent):
+            self.blocked_on.event._discard_waiter(self)
+        self.blocked_on = None
+        if self._kernel._current is self:
+            # Self-kill: the generator is executing right now; it will
+            # finish via StopIteration and fire `done` itself.
+            return
+        self._gen.close()
+        if not self.done.fired:
+            self.done.fail(exc or SimError(f"thread {self.name} killed"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "dead" if not self.alive else (
+            f"blocked({self.blocked_on!r})" if self.blocked_on else "runnable"
+        )
+        return f"<SimThread {self.name} {state}>"
+
+
+class Kernel:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._pq: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._threads: list[SimThread] = []
+        self._running = False
+        self._current: "SimThread | None" = None
+        #: optional trace callback ``(time, thread_name, event_str)``
+        self.trace: Callable[[float, str, str], None] | None = None
+
+    # -- scheduling primitives ---------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._pq, (when, self._seq, fn))
+        self._seq += 1
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(name)
+
+    def queue(self, name: str = "") -> Queue:
+        return Queue(self, name)
+
+    # -- threads ------------------------------------------------------------
+
+    def spawn(self, gen: SimGen, name: str = "", daemon: bool = False) -> SimThread:
+        thread = SimThread(self, gen, name=name, daemon=daemon)
+        self._threads.append(thread)
+        self._resume(thread, None, None)
+        return thread
+
+    def _resume(
+        self, thread: SimThread, value: Any, exc: BaseException | None
+    ) -> None:
+        thread.blocked_on = None
+        self.call_at(self.now, lambda: self._step(thread, value, exc))
+
+    def _step(
+        self, thread: SimThread, value: Any, exc: BaseException | None
+    ) -> None:
+        if not thread.alive:
+            return
+        self._current = thread
+        try:
+            if exc is not None:
+                syscall = thread._gen.throw(exc)
+            else:
+                syscall = thread._gen.send(value)
+        except StopIteration as stop:
+            thread.alive = False
+            thread.result = stop.value
+            if not thread.done.fired:
+                thread.done.fire(stop.value)
+            if self.trace:
+                self.trace(self.now, thread.name, "exit")
+            return
+        except BaseException as err:
+            thread.alive = False
+            if not thread.done.fired:
+                thread.done.fail(err)
+            if self.trace:
+                self.trace(self.now, thread.name, f"crash:{type(err).__name__}")
+            return
+        finally:
+            self._current = None
+
+        thread.blocked_on = syscall
+        if isinstance(syscall, Delay):
+            self.call_later(
+                syscall.seconds, lambda: self._step_if_alive(thread)
+            )
+        elif isinstance(syscall, WaitEvent):
+            syscall.event._add_waiter(thread)
+        else:
+            error = SimError(
+                f"thread {thread.name} yielded non-syscall {syscall!r}"
+            )
+            self.call_at(self.now, lambda: self._step(thread, None, error))
+
+    def _step_if_alive(self, thread: SimThread) -> None:
+        if thread.alive:
+            thread.blocked_on = None
+            self._step(thread, None, None)
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; return the final simulated time.
+
+        Raises :class:`DeadlockError` if non-daemon threads remain
+        blocked with nothing left to schedule.
+        """
+        if self._running:
+            raise SimError("kernel.run() is not reentrant")
+        self._running = True
+        try:
+            while self._pq:
+                when, _, fn = heapq.heappop(self._pq)
+                if until is not None and when > until:
+                    heapq.heappush(self._pq, (when, 0, fn))
+                    self.now = until
+                    return self.now
+                self.now = when
+                fn()
+            blocked = [
+                t.name
+                for t in self._threads
+                if t.alive and not t.daemon and t.blocked_on is not None
+            ]
+            if blocked:
+                raise DeadlockError(blocked)
+            return self.now
+        finally:
+            self._running = False
+
+    def run_until_complete(self, threads: "SimThread | Iterable[SimThread]") -> Any:
+        """Run until the given thread(s) finish; return last result.
+
+        Unlike :meth:`run`, daemon service loops blocked forever do not
+        matter — but if the queue drains before the threads complete a
+        :class:`DeadlockError` is raised.
+        """
+        if isinstance(threads, SimThread):
+            targets = [threads]
+        else:
+            targets = list(threads)
+        while any(t.alive for t in targets):
+            if not self._pq:
+                raise DeadlockError([t.name for t in targets if t.alive])
+            self.run()
+        result = None
+        for t in targets:
+            if t.done._exc is not None:
+                raise t.done._exc
+            result = t.result
+        return result
+
+    @property
+    def live_threads(self) -> list[SimThread]:
+        return [t for t in self._threads if t.alive]
+
+
+def first_of(
+    kernel: Kernel, events: list[SimEvent], name: str = "first"
+) -> SimEvent:
+    """Return an event firing with ``(index, value, exc)`` of whichever
+    input settles first (failures settle too, with ``exc`` set)."""
+    winner = kernel.event(name)
+
+    def make_watcher(i: int, ev: SimEvent) -> SimGen:
+        def watcher() -> SimGen:
+            try:
+                value = yield WaitEvent(ev)
+            except BaseException as exc:
+                if not winner.fired:
+                    winner.fire((i, None, exc))
+                return
+            if not winner.fired:
+                winner.fire((i, value, None))
+
+        return watcher()
+
+    for i, ev in enumerate(events):
+        kernel.spawn(make_watcher(i, ev), name=f"{name}-w{i}", daemon=True)
+    return winner
+
+
+def join_all(events: list[SimEvent], kernel: Kernel, name: str = "join") -> SimEvent:
+    """Return an event that fires when every input event has fired.
+
+    If any input fails, the join fails with the first failure.
+    """
+    joined = kernel.event(name)
+    remaining = {"n": len(events)}
+    if not events:
+        joined.fire([])
+        return joined
+    results: list[Any] = [None] * len(events)
+
+    def make_watcher(i: int, ev: SimEvent) -> SimGen:
+        def watcher() -> SimGen:
+            try:
+                results[i] = yield WaitEvent(ev)
+            except BaseException as exc:
+                if not joined.fired:
+                    joined.fail(exc)
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not joined.fired:
+                joined.fire(list(results))
+
+        return watcher()
+
+    for i, ev in enumerate(events):
+        kernel.spawn(make_watcher(i, ev), name=f"{name}-w{i}", daemon=True)
+    return joined

@@ -1,0 +1,87 @@
+"""Simulated cluster node.
+
+A node models the paper's testbed machines (dual 2.0 GHz Opterons,
+4 GB RAM, GigE + InfiniBand): it owns a CPU-speed factor used to turn
+abstract work units into simulated seconds, a local disk
+(:class:`repro.vfs.localfs.LocalFS`), network interfaces added by the
+cluster builder, and the set of processes currently placed on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ProcessFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+    from repro.simenv.process import SimProcess
+    from repro.vfs.localfs import LocalFS
+
+
+class Node:
+    """One machine of the simulated cluster."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        cpu_ghz: float = 2.0,
+        mem_bytes: int = 4 * 2**30,
+        os_tag: str = "linux-x86_64",
+    ):
+        self.kernel = kernel
+        self.name = name
+        self.cpu_ghz = cpu_ghz
+        self.mem_bytes = mem_bytes
+        #: OS/arch tag; the CRS records it in snapshot metadata so that
+        #: restart can check image compatibility (heterogeneous support,
+        #: paper section 4).
+        self.os_tag = os_tag
+        self.up = True
+        self.processes: list["SimProcess"] = []
+        #: network interfaces by fabric name ("eth", "ib", "lo")
+        self.nics: dict[str, Any] = {}
+        self.local_fs: "LocalFS | None" = None
+
+    # -- placement -----------------------------------------------------------
+
+    def attach(self, proc: "SimProcess") -> None:
+        if not self.up:
+            raise ProcessFailedError(f"node {self.name} is down")
+        self.processes.append(proc)
+
+    def detach(self, proc: "SimProcess") -> None:
+        try:
+            self.processes.remove(proc)
+        except ValueError:
+            pass
+
+    # -- compute cost model ----------------------------------------------------
+
+    def compute_seconds(self, work_units: float) -> float:
+        """Convert abstract work units (≈ Gcycles) to seconds on this CPU."""
+        if work_units < 0:
+            raise ValueError("work must be non-negative")
+        return work_units / self.cpu_ghz
+
+    # -- failure ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Non-transient node failure: kill every process placed here.
+
+        The local disk contents become unreachable (the motivation for
+        FILEM gathering snapshots to *stable storage*, paper section
+        5.2).
+        """
+        if not self.up:
+            return
+        self.up = False
+        for proc in list(self.processes):
+            proc.kill(ProcessFailedError(f"node {self.name} crashed"))
+        if self.local_fs is not None:
+            self.local_fs.mark_unreachable()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.up else "DOWN"
+        return f"<Node {self.name} {state} procs={len(self.processes)}>"

@@ -1,0 +1,154 @@
+"""Snapshot references (paper section 4).
+
+A *snapshot reference* is a single named handle to a checkpoint,
+freeing the user from tracking checkpointer-specific file sets:
+
+* **Local snapshot reference** — one process's checkpoint: a directory
+  holding a ``metadata.json`` (which checkpointer was used, application
+  parameters, interval number, origin node/OS) plus the checkpointer's
+  own files (here: ``image.pkl``).
+* **Global snapshot reference** — one distributed checkpoint: a
+  directory holding a ``metadata.json`` (aggregated local references,
+  last-known ranks, *runtime parameters*, global interval) plus the
+  physical local snapshots, one per process.
+
+Because the runtime parameters and application identity are recorded
+at checkpoint time, ``ompi-restart`` needs nothing beyond the global
+reference — the paper's usability point.
+
+References are serialized as JSON into the simulated filesystems.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.simenv.kernel import SimGen
+from repro.util.errors import SnapshotError
+from repro.vfs import path as vpath
+from repro.vfs.fsbase import FS
+
+LOCAL_META = "metadata.json"
+GLOBAL_META = "metadata.json"
+IMAGE_FILE = "image.pkl"
+
+
+@dataclass
+class LocalSnapshotMeta:
+    """Metadata describing a single-process snapshot."""
+
+    rank: int
+    jobid: int
+    crs_component: str
+    origin_node: str
+    os_tag: str
+    interval: int
+    sim_time: float
+    portable: bool = True
+    app_params: dict = field(default_factory=dict)
+    files: list[str] = field(default_factory=list)
+
+    def to_json(self) -> bytes:
+        return json.dumps(asdict(self), sort_keys=True, indent=1).encode()
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "LocalSnapshotMeta":
+        try:
+            data = json.loads(raw.decode())
+            return cls(**data)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SnapshotError(f"bad local snapshot metadata: {exc}") from exc
+
+
+@dataclass
+class GlobalSnapshotMeta:
+    """Metadata describing a whole-job snapshot."""
+
+    jobid: int
+    interval: int
+    n_procs: int
+    sim_time: float
+    app_name: str
+    app_args: dict = field(default_factory=dict)
+    mca_params: dict = field(default_factory=dict)
+    #: rank -> {"path": str, "node": str, "crs": str, "os_tag": str}
+    locals: dict = field(default_factory=dict)
+
+    def to_json(self) -> bytes:
+        return json.dumps(asdict(self), sort_keys=True, indent=1).encode()
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "GlobalSnapshotMeta":
+        try:
+            data = json.loads(raw.decode())
+            # JSON object keys are strings; normalize rank keys to int.
+            data["locals"] = {int(k): v for k, v in data.get("locals", {}).items()}
+            return cls(**data)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SnapshotError(f"bad global snapshot metadata: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LocalSnapshotRef:
+    """Named reference to a local snapshot directory on some FS."""
+
+    fs_name: str
+    path: str
+
+    @property
+    def meta_path(self) -> str:
+        return vpath.join(self.path, LOCAL_META)
+
+    @property
+    def image_path(self) -> str:
+        return vpath.join(self.path, IMAGE_FILE)
+
+
+@dataclass(frozen=True)
+class GlobalSnapshotRef:
+    """Named reference to a global snapshot directory on stable storage."""
+
+    path: str
+
+    @property
+    def meta_path(self) -> str:
+        return vpath.join(self.path, GLOBAL_META)
+
+    def local_dir(self, rank: int) -> str:
+        return vpath.join(self.path, f"rank{rank}")
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.path
+
+
+def global_snapshot_dirname(jobid: int, interval: int) -> str:
+    """Canonical global snapshot directory name."""
+    return f"ompi_global_snapshot_{jobid}.{interval}"
+
+
+# --------------------------------------------------------------------------
+# Timed reader/writer helpers (generators)
+# --------------------------------------------------------------------------
+
+
+def write_local_meta(fs: FS, ref: LocalSnapshotRef, meta: LocalSnapshotMeta) -> SimGen:
+    yield from fs.write(ref.meta_path, meta.to_json())
+    return ref
+
+
+def read_local_meta(fs: FS, ref: LocalSnapshotRef) -> SimGen:
+    raw = yield from fs.read(ref.meta_path)
+    return LocalSnapshotMeta.from_json(raw)
+
+
+def write_global_meta(fs: FS, ref: GlobalSnapshotRef, meta: GlobalSnapshotMeta) -> SimGen:
+    yield from fs.write(ref.meta_path, meta.to_json())
+    return ref
+
+
+def read_global_meta(fs: FS, ref: GlobalSnapshotRef) -> SimGen:
+    if not fs.exists(ref.meta_path):
+        raise SnapshotError(f"no global snapshot at {ref.path}")
+    raw = yield from fs.read(ref.meta_path)
+    return GlobalSnapshotMeta.from_json(raw)

@@ -1,0 +1,28 @@
+"""Command-line-tool analogues.
+
+The paper's asynchronous interface: ``ompi-checkpoint`` and
+``ompi-restart`` are external tools that talk to mpirun over OOB
+(Figure 1-A), enabling system administrators and schedulers to
+checkpoint a user's job *without knowing how it was started* — every
+needed detail lives in the global snapshot reference.
+
+:func:`ompi_run` is the mpirun front-end; all four tools have both a
+programmatic API (used by tests/benches) and a demo CLI
+(:mod:`repro.tools.cli`).
+"""
+
+from repro.tools.api import (
+    ToolHandle,
+    ompi_checkpoint,
+    ompi_ps,
+    ompi_restart,
+    ompi_run,
+)
+
+__all__ = [
+    "ToolHandle",
+    "ompi_checkpoint",
+    "ompi_ps",
+    "ompi_restart",
+    "ompi_run",
+]

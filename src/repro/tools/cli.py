@@ -1,0 +1,159 @@
+"""Demo command-line entry points.
+
+The real system's tools operate on live jobs; in this reproduction the
+whole cluster is simulated in-process, so each CLI builds a small
+universe, demonstrates its operation end-to-end, and prints the result.
+They exist to give the paper's tool workflow a tangible shape::
+
+    ompi-run --app jacobi --np 4
+    ompi-checkpoint         # run + checkpoint + report the reference
+    ompi-restart            # run + checkpoint --term + restart from ref
+    ompi-ps                 # job table after a run
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.mca.params import MCAParams
+from repro.orte.universe import Universe
+from repro.simenv.cluster import Cluster, ClusterSpec
+from repro.tools.api import (
+    checkpoint_ref,
+    ompi_checkpoint,
+    ompi_ps,
+    ompi_restart,
+    ompi_run,
+)
+
+
+def _universe(n_nodes: int = 4, **params) -> Universe:
+    base = MCAParams({"filem": "rsh"})
+    base.update(params)
+    return Universe(Cluster(ClusterSpec(n_nodes=n_nodes)), base)
+
+
+def _common_parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--app", default="jacobi", help="registered app name")
+    parser.add_argument("--np", type=int, default=4, help="number of ranks")
+    parser.add_argument("--nodes", type=int, default=4, help="cluster size")
+    return parser
+
+
+def main_run(argv=None) -> int:
+    args = _common_parser("Launch an MPI job on a simulated cluster.").parse_args(argv)
+    universe = _universe(args.nodes)
+    job = ompi_run(universe, args.app, args.np)
+    print(f"job {job.jobid} ({args.app}, np={args.np}) -> {job.state.value}")
+    for rank in sorted(job.results):
+        print(f"  rank {rank}: {job.results[rank]}")
+    return 0 if job.state.value == "finished" else 1
+
+
+def main_checkpoint(argv=None) -> int:
+    parser = _common_parser("Run a job and checkpoint it mid-flight.")
+    parser.add_argument("--at", type=float, default=0.05, help="sim time of request")
+    args = parser.parse_args(argv)
+    universe = _universe(args.nodes)
+    job = ompi_run(
+        universe,
+        args.app,
+        args.np,
+        args={"n_global": 256, "iters": 60000},
+        wait=False,
+    )
+    handle = ompi_checkpoint(universe, job.jobid, at=args.at, wait=False)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    if reply.get("ok"):
+        print(f"global snapshot reference: {reply['snapshot']}")
+        return 0
+    print(f"checkpoint failed: {reply.get('error')}")
+    return 1
+
+
+def main_restart(argv=None) -> int:
+    parser = _common_parser("Checkpoint-and-terminate a job, then restart it.")
+    parser.add_argument("--at", type=float, default=0.05, help="sim time of request")
+    args = parser.parse_args(argv)
+    universe = _universe(args.nodes)
+    job = ompi_run(
+        universe,
+        args.app,
+        args.np,
+        args={"n_global": 256, "iters": 60000},
+        wait=False,
+    )
+    handle = ompi_checkpoint(
+        universe, job.jobid, at=args.at, terminate=True, wait=False
+    )
+    universe.run_job_to_completion(job)
+    ref = checkpoint_ref(handle)
+    print(f"halted into snapshot {ref.path}; restarting...")
+    new_job = ompi_restart(universe, ref)
+    print(f"restarted as job {new_job.jobid} -> {new_job.state.value}")
+    for rank in sorted(new_job.results):
+        print(f"  rank {rank}: {new_job.results[rank]}")
+    return 0 if new_job.state.value == "finished" else 1
+
+
+def main_info(argv=None) -> int:
+    """ompi_info analogue: list frameworks, components, parameters."""
+    from repro.tools.info import render_info
+
+    argparse.ArgumentParser(
+        description="List MCA frameworks, components, and parameters."
+    ).parse_args(argv)
+    print(render_info())
+    return 0
+
+
+def main_migrate(argv=None) -> int:
+    """Demo of ompi-migrate: vacate a node mid-run."""
+    parser = _common_parser("Migrate a running job off one node.")
+    parser.add_argument("--at", type=float, default=0.08, help="sim time of request")
+    parser.add_argument("--vacate", default="node01", help="node to drain")
+    args = parser.parse_args(argv)
+    from repro.tools.api import ompi_migrate
+
+    universe = _universe(args.nodes)
+    job = ompi_run(
+        universe,
+        args.app,
+        args.np,
+        args={"n_global": 256, "iters": 60000},
+        wait=False,
+    )
+    target = next(
+        node.name for node in universe.cluster.nodes if node.name != args.vacate
+    )
+    placement = {
+        rank: target
+        for rank in range(args.np)
+        if rank % args.nodes == int(args.vacate.replace("node", ""))
+    }
+    handle = ompi_migrate(universe, job.jobid, placement, at=args.at, wait=False)
+    reply = handle.wait_stepped()
+    if not reply.get("ok"):
+        print(f"migration failed: {reply.get('error')}")
+        return 1
+    migrated = universe.job(reply["jobid"])
+    universe.run_job_to_completion(migrated)
+    print(
+        f"job {job.jobid} migrated to job {migrated.jobid} "
+        f"({migrated.state.value}); placements: {migrated.placements}"
+    )
+    return 0 if migrated.state.value == "finished" else 1
+
+
+def main_ps(argv=None) -> int:
+    args = _common_parser("Run a job, then print the HNP job table.").parse_args(argv)
+    universe = _universe(args.nodes)
+    ompi_run(universe, args.app, args.np)
+    for row in ompi_ps(universe):
+        print(
+            f"job {row['jobid']:>3}  {row['app']:<14} np={row['np']:<3} "
+            f"{row['state']:<10} snapshots={len(row['snapshots'])}"
+        )
+    return 0

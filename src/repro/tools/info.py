@@ -1,0 +1,103 @@
+"""``ompi-info`` analogue: inspect frameworks, components, parameters.
+
+Open MPI ships ``ompi_info`` so users can see which components a build
+offers and which MCA parameters steer them.  This reproduction's
+version introspects the component registry and the conventional
+parameter surface — handy in examples and for validating that a forced
+selection (``--mca crs self``) names something real before launching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mca.registry import FrameworkRegistry, default_registry
+
+#: parameters each component/framework documents (name, default, help)
+KNOWN_PARAMS: dict[str, list[tuple[str, str, str]]] = {
+    "crs": [
+        ("crs", "simcr", "force CRS component selection"),
+        ("crs_simcr_portable", "1", "allow simcr images to restart across OS tags"),
+    ],
+    "snapc": [
+        ("snapc", "full", "force SNAPC component selection"),
+        ("snapc_full_ready_grace", "0.05", "seconds to wait for in-flight readiness"),
+    ],
+    "filem": [
+        ("filem", "rsh", "force FILEM component selection"),
+        ("filem_rsh_session_cost", "0.020", "rsh session setup latency (s)"),
+        ("filem_rsh_max_concurrent", "4", "concurrent remote copies"),
+    ],
+    "plm": [
+        ("plm", "rsh", "force PLM component selection"),
+        ("plm_rsh_session_cost", "0.030", "rsh launch session latency (s)"),
+        ("plm_rsh_num_concurrent", "8", "concurrent node contacts"),
+        ("plm_slurm_jobid", "", "set to select the slurm launcher"),
+        ("plm_slurm_step_cost", "0.005", "slurm step latency (s)"),
+    ],
+    "pml": [
+        ("pml", "ob1", "force PML component selection"),
+        ("pml_ob1_eager_limit", "65536", "eager/rendezvous threshold (bytes)"),
+    ],
+    "btl": [
+        ("btl", "tcp,ib,sm", "BTL include list"),
+        ("btl_ib_disable", "0", "disable the InfiniBand BTL"),
+    ],
+    "crcp": [
+        ("crcp", "coord", "force CRCP component selection"),
+    ],
+    "coll": [
+        ("coll", "basic", "force COLL component selection"),
+        ("coll_basic_bcast_algorithm", "binomial", "bcast: binomial|linear"),
+        ("coll_basic_reduce_algorithm", "binomial", "reduce: binomial|linear"),
+    ],
+}
+
+#: non-framework (base) parameters
+BASE_PARAMS: list[tuple[str, str, str]] = [
+    ("ompi_cr_enabled", "1", "build with C/R support (wrapper PML installed)"),
+    ("orte_errmgr_autorecover", "0", "restart failed jobs from their last snapshot"),
+]
+
+
+@dataclass
+class FrameworkInfo:
+    name: str
+    components: list[str]
+    params: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def collect_info(registry: FrameworkRegistry | None = None) -> list[FrameworkInfo]:
+    """Gather the framework/component/parameter inventory."""
+    registry = registry or default_registry()
+    out = []
+    for name in registry.framework_names:
+        out.append(
+            FrameworkInfo(
+                name=name,
+                components=registry.framework(name).component_names,
+                params=list(KNOWN_PARAMS.get(name, [])),
+            )
+        )
+    return out
+
+
+def component_exists(framework: str, component: str) -> bool:
+    registry = default_registry()
+    if framework not in registry:
+        return False
+    return component in registry.framework(framework).component_names
+
+
+def render_info(infos: list[FrameworkInfo] | None = None) -> str:
+    """Human-readable ompi_info-style listing."""
+    infos = infos if infos is not None else collect_info()
+    lines = ["MCA frameworks and components:"]
+    for info in infos:
+        lines.append(f"  {info.name}: {', '.join(info.components)}")
+        for key, default, help_text in info.params:
+            lines.append(f"      {key} (default {default!r}) — {help_text}")
+    lines.append("base parameters:")
+    for key, default, help_text in BASE_PARAMS:
+        lines.append(f"      {key} (default {default!r}) — {help_text}")
+    return "\n".join(lines)

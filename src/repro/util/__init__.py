@@ -1,0 +1,53 @@
+"""Shared utilities: errors, process naming, logging, sequence helpers.
+
+These are deliberately dependency-free; every other ``repro`` subpackage
+may import from here.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    MCAError,
+    ComponentNotFoundError,
+    ComponentSelectError,
+    SimError,
+    DeadlockError,
+    NetworkError,
+    VFSError,
+    MPIError,
+    TruncationError,
+    CheckpointError,
+    NotCheckpointableError,
+    RestartError,
+    SnapshotError,
+    LaunchError,
+    ProcessFailedError,
+)
+from repro.util.ids import ProcessName, JobId, Vpid
+from repro.util.logging import get_logger, set_verbosity
+from repro.util.seq import SeqCounter, SeqWindow
+
+__all__ = [
+    "ReproError",
+    "MCAError",
+    "ComponentNotFoundError",
+    "ComponentSelectError",
+    "SimError",
+    "DeadlockError",
+    "NetworkError",
+    "VFSError",
+    "MPIError",
+    "TruncationError",
+    "CheckpointError",
+    "NotCheckpointableError",
+    "RestartError",
+    "SnapshotError",
+    "LaunchError",
+    "ProcessFailedError",
+    "ProcessName",
+    "JobId",
+    "Vpid",
+    "get_logger",
+    "set_verbosity",
+    "SeqCounter",
+    "SeqWindow",
+]

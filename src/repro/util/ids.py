@@ -1,0 +1,74 @@
+"""Process naming, mirroring Open MPI's ``orte_process_name_t``.
+
+Every process in the universe — HNP (mpirun), per-node daemons
+(orteds), and application processes — is addressed by a
+``(jobid, vpid)`` pair.  Job 0 is reserved for the runtime itself
+(HNP and daemons); application jobs are numbered from 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+JobId = NewType("JobId", int)
+Vpid = NewType("Vpid", int)
+
+#: Jobid of the runtime infrastructure job (HNP + orteds).
+DAEMON_JOBID = JobId(0)
+
+#: Vpid of the HNP (mpirun) inside the daemon job.
+HNP_VPID = Vpid(0)
+
+#: Wildcard vpid used to address "every process in a job".
+VPID_WILDCARD = Vpid(-1)
+
+
+@dataclass(frozen=True, order=True)
+class ProcessName:
+    """Globally unique, orderable process name ``[jobid, vpid]``."""
+
+    jobid: int
+    vpid: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.jobid},{self.vpid}]"
+
+    @property
+    def is_daemon(self) -> bool:
+        """True for HNP/orted processes (the runtime job)."""
+        return self.jobid == DAEMON_JOBID
+
+    @property
+    def is_hnp(self) -> bool:
+        """True only for the head node process (mpirun)."""
+        return self.jobid == DAEMON_JOBID and self.vpid == HNP_VPID
+
+    def matches(self, other: "ProcessName") -> bool:
+        """Wildcard-aware comparison (``VPID_WILDCARD`` matches any vpid)."""
+        if self.jobid != other.jobid:
+            return False
+        if self.vpid == VPID_WILDCARD or other.vpid == VPID_WILDCARD:
+            return True
+        return self.vpid == other.vpid
+
+
+def hnp_name() -> ProcessName:
+    """Name of the head node process."""
+    return ProcessName(DAEMON_JOBID, HNP_VPID)
+
+
+def daemon_name(index: int) -> ProcessName:
+    """Name of the orted on node *index* (daemons start at vpid 1)."""
+    if index < 0:
+        raise ValueError("daemon index must be >= 0")
+    return ProcessName(DAEMON_JOBID, index + 1)
+
+
+def app_name(jobid: int, rank: int) -> ProcessName:
+    """Name of application-rank *rank* in job *jobid* (jobid >= 1)."""
+    if jobid < 1:
+        raise ValueError("application jobids start at 1")
+    if rank < 0:
+        raise ValueError("rank must be >= 0")
+    return ProcessName(jobid, rank)

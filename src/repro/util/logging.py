@@ -1,0 +1,42 @@
+"""Component-aware logging.
+
+A thin wrapper over :mod:`logging` that namespaces loggers under
+``repro.*`` and provides a single global verbosity knob, mirroring
+Open MPI's ``mca_base_verbose`` behaviour.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT = "repro"
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(name)s] %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro`` (e.g. ``orte.snapc``)."""
+    _configure()
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set global verbosity: 0=warnings, 1=info, 2+=debug."""
+    _configure()
+    mapping = {0: logging.WARNING, 1: logging.INFO}
+    logging.getLogger(_ROOT).setLevel(mapping.get(level, logging.DEBUG))

@@ -1,0 +1,79 @@
+"""Sequence-number helpers used by the PML matching engine and the CRCP
+bookmark-exchange protocol.
+
+``SeqCounter`` is a plain monotonic counter whose value is part of the
+process image (it must be checkpointed/restored so post-restart traffic
+continues the pre-checkpoint numbering).  ``SeqWindow`` tracks delivery
+of a contiguous in-order stream and reports gaps, which the coordinated
+checkpoint protocol uses to decide how many in-flight messages remain
+to be drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeqCounter:
+    """Monotonic counter; ``next()`` returns then increments."""
+
+    value: int = 0
+
+    def next(self) -> int:
+        v = self.value
+        self.value += 1
+        return v
+
+    def peek(self) -> int:
+        return self.value
+
+    def snapshot(self) -> int:
+        """Return picklable state (just the integer)."""
+        return self.value
+
+    @classmethod
+    def restore(cls, state: int) -> "SeqCounter":
+        return cls(value=state)
+
+
+@dataclass
+class SeqWindow:
+    """Tracks receipt of sequence numbers 0..N with possible reordering.
+
+    ``deliver(seq)`` records a sequence number; ``contiguous`` is the
+    count of messages delivered with no gaps (i.e. the next expected
+    in-order sequence number); ``missing_below(n)`` lists undelivered
+    sequence numbers < n.
+    """
+
+    contiguous: int = 0
+    _out_of_order: set[int] = field(default_factory=set)
+
+    def deliver(self, seq: int) -> None:
+        if seq < self.contiguous or seq in self._out_of_order:
+            raise ValueError(f"duplicate sequence number {seq}")
+        self._out_of_order.add(seq)
+        while self.contiguous in self._out_of_order:
+            self._out_of_order.remove(self.contiguous)
+            self.contiguous += 1
+
+    @property
+    def total_delivered(self) -> int:
+        return self.contiguous + len(self._out_of_order)
+
+    def missing_below(self, n: int) -> list[int]:
+        """Sequence numbers < n not yet delivered."""
+        return [
+            s
+            for s in range(self.contiguous, n)
+            if s not in self._out_of_order
+        ]
+
+    def snapshot(self) -> tuple[int, frozenset[int]]:
+        return (self.contiguous, frozenset(self._out_of_order))
+
+    @classmethod
+    def restore(cls, state: tuple[int, frozenset[int]]) -> "SeqWindow":
+        contiguous, out = state
+        return cls(contiguous=contiguous, _out_of_order=set(out))

@@ -1,0 +1,29 @@
+"""Simulated storage: per-node local disks and shared stable storage.
+
+The paper's snapshot life cycle writes local snapshots to each node's
+local disk and then gathers them (via FILEM) to *stable storage* — a
+shared RAID filesystem that survives node failures (paper section 5.2).
+Both filesystem kinds share one interface (:class:`repro.vfs.fsbase.FS`)
+with timed read/write operations, so the FILEM components can be
+compared on equal footing.
+"""
+
+from repro.vfs.fsbase import FS, FileStat
+from repro.vfs.localfs import LocalFS
+from repro.vfs.sharedfs import SharedFS
+from repro.vfs.path import basename, dirname, join, normalize, split
+from repro.vfs.transfer import copy_file, copy_tree
+
+__all__ = [
+    "FS",
+    "FileStat",
+    "LocalFS",
+    "SharedFS",
+    "basename",
+    "dirname",
+    "join",
+    "normalize",
+    "split",
+    "copy_file",
+    "copy_tree",
+]

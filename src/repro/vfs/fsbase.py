@@ -1,0 +1,172 @@
+"""Common simulated-filesystem behaviour.
+
+Files hold real ``bytes`` (snapshot images are actual pickles), and
+every read/write is a blocking generator operation whose duration is
+``size / bandwidth + op_latency``.  Directories are implicit (a path
+prefix exists if any file lives under it) with an explicit-creation
+option via ``mkdir`` markers, which snapshot directories use so that
+empty snapshot dirs are visible before files land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.simenv.kernel import Delay, SimGen
+from repro.util.errors import VFSError
+from repro.vfs import path as vpath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class FileStat:
+    path: str
+    size: int
+    mtime: float
+
+
+class FS:
+    """Base simulated filesystem."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        bandwidth_Bps: float = 100e6,
+        op_latency_s: float = 1e-4,
+    ):
+        if bandwidth_Bps <= 0:
+            raise VFSError("bandwidth must be positive")
+        self.kernel = kernel
+        self.name = name
+        self.bandwidth_Bps = bandwidth_Bps
+        self.op_latency_s = op_latency_s
+        self.reachable = True
+        self._files: dict[str, bytes] = {}
+        self._mtimes: dict[str, float] = {}
+        self._dirs: set[str] = {"/"}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- availability ---------------------------------------------------------
+
+    def mark_unreachable(self) -> None:
+        """The backing node died; all contents are lost to the job."""
+        self.reachable = False
+
+    def _check(self) -> None:
+        if not self.reachable:
+            raise VFSError(f"filesystem {self.name} is unreachable")
+
+    def _io_time(self, nbytes: int) -> float:
+        return self.op_latency_s + nbytes / self.bandwidth_Bps
+
+    # -- blocking (timed) operations -------------------------------------------
+
+    def write(self, path: str, data: bytes) -> SimGen:
+        """Write (create or replace) a file."""
+        self._check()
+        if not isinstance(data, (bytes, bytearray)):
+            raise VFSError(f"file data must be bytes, got {type(data).__name__}")
+        norm = vpath.normalize(path)
+        yield Delay(self._io_time(len(data)))
+        self._check()
+        self._files[norm] = bytes(data)
+        self._mtimes[norm] = self.kernel.now
+        self._dirs.add(vpath.dirname(norm))
+        self.bytes_written += len(data)
+        return len(data)
+
+    def read(self, path: str) -> SimGen:
+        """Read a whole file."""
+        self._check()
+        norm = vpath.normalize(path)
+        if norm not in self._files:
+            raise VFSError(f"{self.name}: no such file {norm}")
+        data = self._files[norm]
+        yield Delay(self._io_time(len(data)))
+        self._check()
+        self.bytes_read += len(data)
+        return data
+
+    def remove(self, path: str) -> SimGen:
+        """Remove one file."""
+        self._check()
+        norm = vpath.normalize(path)
+        if norm not in self._files:
+            raise VFSError(f"{self.name}: no such file {norm}")
+        yield Delay(self.op_latency_s)
+        self._files.pop(norm, None)
+        self._mtimes.pop(norm, None)
+        return None
+
+    def remove_tree(self, prefix: str) -> SimGen:
+        """Remove every file under *prefix* (and the dir markers)."""
+        self._check()
+        victims = self.list_tree(prefix)
+        yield Delay(self.op_latency_s * max(1, len(victims)))
+        for path in victims:
+            self._files.pop(path, None)
+            self._mtimes.pop(path, None)
+        norm = vpath.normalize(prefix)
+        self._dirs = {d for d in self._dirs if not vpath.is_under(d, norm)}
+        return len(victims)
+
+    # -- instantaneous metadata operations --------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        self._check()
+        self._dirs.add(vpath.normalize(path))
+
+    def exists(self, path: str) -> bool:
+        self._check()
+        norm = vpath.normalize(path)
+        return norm in self._files or self.isdir(norm)
+
+    def isdir(self, path: str) -> bool:
+        self._check()
+        norm = vpath.normalize(path)
+        if norm in self._dirs:
+            return True
+        prefix = norm.rstrip("/") + "/"
+        return any(f.startswith(prefix) for f in self._files)
+
+    def stat(self, path: str) -> FileStat:
+        self._check()
+        norm = vpath.normalize(path)
+        if norm not in self._files:
+            raise VFSError(f"{self.name}: no such file {norm}")
+        return FileStat(norm, len(self._files[norm]), self._mtimes[norm])
+
+    def list_tree(self, prefix: str = "/") -> list[str]:
+        """All file paths under *prefix*, sorted."""
+        self._check()
+        norm = vpath.normalize(prefix)
+        return sorted(f for f in self._files if vpath.is_under(f, norm))
+
+    def size_tree(self, prefix: str = "/") -> int:
+        return sum(len(self._files[f]) for f in self.list_tree(prefix))
+
+    # -- test/tool conveniences (untimed) --------------------------------------
+
+    def peek(self, path: str) -> bytes:
+        """Untimed read for tools and assertions."""
+        self._check()
+        norm = vpath.normalize(path)
+        if norm not in self._files:
+            raise VFSError(f"{self.name}: no such file {norm}")
+        return self._files[norm]
+
+    def poke(self, path: str, data: bytes) -> None:
+        """Untimed write for test setup."""
+        self._check()
+        norm = vpath.normalize(path)
+        self._files[norm] = bytes(data)
+        self._mtimes[norm] = self.kernel.now
+        self._dirs.add(vpath.dirname(norm))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name} files={len(self._files)}>"

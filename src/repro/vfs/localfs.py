@@ -1,0 +1,29 @@
+"""Per-node local disk.
+
+Fast to write (no network hop) but *not* stable storage: contents are
+lost when the owning node crashes.  Local snapshots are written here
+first and gathered to :class:`repro.vfs.sharedfs.SharedFS` by FILEM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.vfs.fsbase import FS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.node import Node
+
+
+class LocalFS(FS):
+    """Local disk of a single node."""
+
+    def __init__(self, node: "Node", bandwidth_Bps: float = 80e6, op_latency_s: float = 5e-3):
+        super().__init__(
+            node.kernel,
+            name=f"local:{node.name}",
+            bandwidth_Bps=bandwidth_Bps,
+            op_latency_s=op_latency_s,
+        )
+        self.node = node
+        node.local_fs = self

@@ -1,0 +1,57 @@
+"""Path helpers for the simulated filesystems.
+
+Paths are ``/``-separated, always absolute (leading ``/``), with no
+``.``/``..`` components after normalization.  Kept separate from
+:mod:`os.path` so simulated paths never collide with host paths.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import VFSError
+
+
+def normalize(path: str) -> str:
+    """Normalize to a canonical absolute path."""
+    if not isinstance(path, str) or not path:
+        raise VFSError(f"bad path: {path!r}")
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if not parts:
+                raise VFSError(f"path escapes root: {path!r}")
+            parts.pop()
+        else:
+            parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def join(*parts: str) -> str:
+    """Join path components and normalize."""
+    if not parts:
+        raise VFSError("join() needs at least one component")
+    return normalize("/".join(p.strip("/") if i else p for i, p in enumerate(parts)))
+
+
+def split(path: str) -> tuple[str, str]:
+    """Split into (dirname, basename)."""
+    norm = normalize(path)
+    if norm == "/":
+        return "/", ""
+    head, _, tail = norm.rpartition("/")
+    return (head or "/", tail)
+
+
+def dirname(path: str) -> str:
+    return split(path)[0]
+
+
+def basename(path: str) -> str:
+    return split(path)[1]
+
+
+def is_under(path: str, prefix: str) -> bool:
+    """True if *path* is *prefix* or inside it."""
+    p, pre = normalize(path), normalize(prefix)
+    return p == pre or p.startswith(pre.rstrip("/") + "/")

@@ -1,0 +1,49 @@
+"""Shared stable storage.
+
+Models the administrator-provided shared RAID filesystem of paper
+section 5.2: reachable from every node and persistent across any node
+failure.  Access from a node pays a network hop cost in addition to the
+disk transfer time, so gathering large snapshots is visibly more
+expensive than local writes — the effect the FILEM experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simenv.kernel import Delay, SimGen
+from repro.vfs.fsbase import FS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simenv.kernel import Kernel
+
+
+class SharedFS(FS):
+    """Cluster-wide stable storage (RAID over the service network)."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str = "stable",
+        bandwidth_Bps: float = 200e6,
+        op_latency_s: float = 2e-3,
+        net_hop_s: float = 100e-6,
+    ):
+        super().__init__(
+            kernel, name=name, bandwidth_Bps=bandwidth_Bps, op_latency_s=op_latency_s
+        )
+        self.net_hop_s = net_hop_s
+
+    def write(self, path: str, data: bytes) -> SimGen:
+        yield Delay(self.net_hop_s)
+        result = yield from super().write(path, data)
+        return result
+
+    def read(self, path: str) -> SimGen:
+        yield Delay(self.net_hop_s)
+        data = yield from super().read(path)
+        return data
+
+    def mark_unreachable(self) -> None:
+        """Stable storage survives node failures by definition; refuse."""
+        raise AssertionError("stable storage cannot become unreachable")

@@ -1,0 +1,68 @@
+"""Timed copies between simulated filesystems.
+
+These are the primitives the FILEM components compose: ``copy_file``
+reads from the source FS and writes to the destination FS (both
+timed), optionally paying an extra per-byte network cost when the copy
+crosses nodes — which is how the ``rsh`` FILEM component's remote
+copies become more expensive than the ``shared`` component's
+direct-to-stable-storage writes.
+"""
+
+from __future__ import annotations
+
+from repro.simenv.kernel import Delay, SimGen
+from repro.vfs.fsbase import FS
+from repro.vfs import path as vpath
+
+
+def copy_file(
+    src_fs: FS,
+    src_path: str,
+    dst_fs: FS,
+    dst_path: str,
+    extra_net_Bps: float | None = None,
+    extra_latency_s: float = 0.0,
+) -> SimGen:
+    """Copy one file; returns bytes copied.
+
+    ``extra_net_Bps``/``extra_latency_s`` model an interposed network
+    link (e.g. an rsh/scp stream between two nodes).
+    """
+    data = yield from src_fs.read(src_path)
+    if extra_latency_s:
+        yield Delay(extra_latency_s)
+    if extra_net_Bps:
+        yield Delay(len(data) / extra_net_Bps)
+    yield from dst_fs.write(dst_path, data)
+    return len(data)
+
+
+def copy_tree(
+    src_fs: FS,
+    src_prefix: str,
+    dst_fs: FS,
+    dst_prefix: str,
+    extra_net_Bps: float | None = None,
+    extra_latency_s: float = 0.0,
+) -> SimGen:
+    """Copy every file under *src_prefix*; returns total bytes copied.
+
+    The destination layout mirrors the source subtree under
+    *dst_prefix*.
+    """
+    src_norm = vpath.normalize(src_prefix)
+    total = 0
+    for path in src_fs.list_tree(src_norm):
+        rel = path[len(src_norm):].lstrip("/")
+        dst_path = vpath.join(dst_prefix, rel) if rel else vpath.join(
+            dst_prefix, vpath.basename(path)
+        )
+        total += yield from copy_file(
+            src_fs,
+            path,
+            dst_fs,
+            dst_path,
+            extra_net_Bps=extra_net_Bps,
+            extra_latency_s=extra_latency_s,
+        )
+    return total

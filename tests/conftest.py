@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.mca.params import MCAParams
+from repro.orte.universe import Universe
+from repro.simenv.cluster import Cluster, ClusterSpec
+from repro.simenv.kernel import Kernel
+
+# Keep expected-failure noise out of test output.
+logging.getLogger("repro").setLevel(logging.CRITICAL)
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(ClusterSpec(n_nodes=4))
+
+
+def make_universe(
+    n_nodes: int = 4, params: dict | None = None, **spec_kwargs
+) -> Universe:
+    """Build a booted universe over a fresh simulated cluster."""
+    spec = ClusterSpec(n_nodes=n_nodes, **spec_kwargs)
+    return Universe(Cluster(spec), MCAParams(params or {}))
+
+
+@pytest.fixture
+def universe() -> Universe:
+    return make_universe()
+
+
+def run_gen(kernel: Kernel, gen, name: str = "test"):
+    """Spawn a generator as a thread and run the kernel to completion."""
+    thread = kernel.spawn(gen, name=name)
+    return kernel.run_until_complete(thread)

@@ -1,0 +1,225 @@
+"""Edge cases across layers: corrupted snapshots, RML teardown,
+inline op driving, wrapper pass-through, custom reduction ops."""
+
+import pickle
+
+import pytest
+
+from repro.mca.params import MCAParams
+from repro.ompi.ops import InlineRuntime, drive_ops
+from repro.snapshot import GlobalSnapshotRef
+from repro.tools.api import checkpoint_ref, ompi_checkpoint, ompi_restart, ompi_run
+from repro.util.errors import MPIError, NetworkError, RestartError, SnapshotError
+from tests.conftest import make_universe, run_gen
+from tests.test_pml import define_app
+
+CHURN = {"loops": 60, "compute_s": 0.01}
+
+
+def halted_snapshot(universe):
+    job = ompi_run(universe, "churn", 2, args=CHURN, wait=False)
+    handle = ompi_checkpoint(universe, job.jobid, at=0.15, terminate=True, wait=False)
+    universe.run_job_to_completion(job)
+    assert job.state.value == "halted"
+    return checkpoint_ref(handle)
+
+
+class TestCorruptedSnapshots:
+    def test_corrupt_image_fails_restart_cleanly(self):
+        universe = make_universe(2)
+        ref = halted_snapshot(universe)
+        stable = universe.cluster.stable_fs
+        stable.poke(f"{ref.local_dir(0)}/image.pkl", b"not a pickle")
+        with pytest.raises(RestartError):
+            ompi_restart(universe, ref)
+
+    def test_corrupt_global_metadata(self):
+        universe = make_universe(2)
+        ref = halted_snapshot(universe)
+        universe.cluster.stable_fs.poke(ref.meta_path, b"{broken json")
+        with pytest.raises((RestartError, SnapshotError)):
+            ompi_restart(universe, ref)
+
+    def test_missing_rank_dir(self):
+        universe = make_universe(2)
+        ref = halted_snapshot(universe)
+        stable = universe.cluster.stable_fs
+
+        def remove():
+            yield from stable.remove_tree(ref.local_dir(1))
+
+        run_gen(universe.kernel, remove())
+        with pytest.raises(RestartError):
+            ompi_restart(universe, ref)
+
+    def test_metadata_referencing_unknown_app(self):
+        universe = make_universe(2)
+        ref = halted_snapshot(universe)
+        stable = universe.cluster.stable_fs
+        import json
+
+        meta = json.loads(stable.peek(ref.meta_path))
+        meta["app_name"] = "ghost-app"
+        stable.poke(ref.meta_path, json.dumps(meta).encode())
+        with pytest.raises(RestartError, match="unknown application"):
+            ompi_restart(universe, ref)
+
+    def test_wrong_image_payload_type(self):
+        universe = make_universe(2)
+        ref = halted_snapshot(universe)
+        stable = universe.cluster.stable_fs
+        # A valid pickle of the wrong shape: restore should fail, not
+        # silently proceed.
+        stable.poke(
+            f"{ref.local_dir(0)}/image.pkl",
+            pickle.dumps({"unknown.contributor": 1}),
+        )
+        with pytest.raises((RestartError, Exception)):
+            job = ompi_restart(universe, ref)
+            assert job.state.value == "failed"
+
+
+class TestRMLTeardown:
+    def test_send_after_close_raises(self, universe):
+        from repro.orte.oob import RML
+        from repro.simenv.process import SimProcess
+        from repro.util.ids import ProcessName, hnp_name
+
+        proc = SimProcess(universe.cluster.nodes[0], ProcessName(5, 0), label="t")
+        universe.register(proc)
+        rml = RML(universe, proc)
+        rml.close()
+
+        def main():
+            yield from rml.send(hnp_name(), "x", {})
+
+        with pytest.raises(NetworkError):
+            run_gen(universe.kernel, main())
+
+    def test_close_idempotent(self, universe):
+        from repro.orte.oob import RML
+        from repro.simenv.process import SimProcess
+        from repro.util.ids import ProcessName
+
+        proc = SimProcess(universe.cluster.nodes[0], ProcessName(5, 1), label="t2")
+        universe.register(proc)
+        rml = RML(universe, proc)
+        rml.close()
+        rml.close()
+
+
+class TestInlineOps:
+    def test_drive_ops_runs_collective_inline(self, universe):
+        """Library-internal op driving (the MPI_Finalize barrier path)
+        exposed directly: run a bcast on a kernel-driven service thread
+        inside each rank (inline driving must not pass through the
+        application runner)."""
+        results = {}
+
+        def main(ctx):
+            ompi = ctx._runner.ompi
+            rt = InlineRuntime(ompi)
+            value = 7 if ctx.rank == 0 else None
+            holder = {}
+
+            def inline():
+                got = yield from drive_ops(
+                    rt, ompi.coll.bcast(ompi.comm_world, value, 0)
+                )
+                holder["got"] = got
+
+            ctx._runner.proc.spawn_thread(inline(), "inline", daemon=True)
+            while "got" not in holder:
+                yield ctx.compute(seconds=1e-4)
+            results[ctx.rank] = holder["got"]
+            yield from ctx.barrier()
+
+        define_app("t_inline", main)
+        job = ompi_run(universe, "t_inline", 2)
+        assert job.state.value == "finished"
+        assert results == {0: 7, 1: 7}
+
+    def test_drive_ops_rejects_non_op(self, kernel):
+        def bogus():
+            yield "nope"
+
+        class FakeRT:
+            pass
+
+        def main():
+            yield from drive_ops(FakeRT(), bogus())
+
+        with pytest.raises(MPIError, match="expected an MPIOp"):
+            run_gen(kernel, main())
+
+
+class TestWrapperPassthrough:
+    def test_getattr_reaches_base_pml(self):
+        universe = make_universe(2)
+        seen = {}
+
+        def main(ctx):
+            pml = ctx._runner.ompi.pml  # the wrapper
+            seen["eager_limit"] = pml.eager_limit
+            seen["stats"] = dict(pml.stats)
+            yield ctx.compute(seconds=0.0)
+
+        define_app("t_passthru", main)
+        ompi_run(universe, "t_passthru", 1)
+        assert seen["eager_limit"] == 65536
+        assert "eager_sent" in seen["stats"]
+
+    def test_hot_methods_bound_to_base(self):
+        universe = make_universe(2)
+        seen = {}
+
+        def main(ctx):
+            ompi = ctx._runner.ompi
+            seen["wait_is_base"] = ompi.pml.wait.__self__ is ompi.pml_base
+            seen["probe_is_base"] = ompi.pml.iprobe.__self__ is ompi.pml_base
+            yield ctx.compute(seconds=0.0)
+
+        define_app("t_bound", main)
+        ompi_run(universe, "t_bound", 1)
+        assert seen == {"wait_is_base": True, "probe_is_base": True}
+
+
+class TestCustomReduceOps:
+    def test_callable_op(self):
+        universe = make_universe(4)
+
+        def main(ctx):
+            def keep_longest(a, b):
+                return a if len(a) >= len(b) else b
+
+            word = "x" * (ctx.rank + 1)
+            longest = yield from ctx.allreduce(word, op=keep_longest)
+            return longest
+
+        define_app("t_custom_op", main)
+        job = ompi_run(universe, "t_custom_op", 4)
+        assert all(v == "xxxx" for v in job.results.values())
+
+
+class TestCheckpointOptions:
+    def test_allow_fail_suppresses_raise(self):
+        universe = make_universe(2, params={"crcp": "none"})
+
+        def main(ctx):
+            result = yield ctx.checkpoint(allow_fail=True)
+            return result["ok"]
+
+        define_app("t_allow_fail", main)
+        job = ompi_run(universe, "t_allow_fail", 2)
+        assert job.state.value == "finished"
+        assert all(v is False for v in job.results.values())
+
+    def test_without_allow_fail_raises(self):
+        universe = make_universe(2, params={"crcp": "none"})
+
+        def main(ctx):
+            yield ctx.checkpoint()
+
+        define_app("t_no_allow", main)
+        job = ompi_run(universe, "t_no_allow", 2)
+        assert job.state.value == "failed"

@@ -1,0 +1,162 @@
+"""Randomized checkpoint/restart equivalence ("fuzz") tests.
+
+For seeded random communication schedules — mixes of point-to-point
+exchanges, wildcard receives, collectives, rendezvous-sized transfers,
+and compute — a checkpoint-terminate at an arbitrary time followed by
+``ompi-restart`` must reproduce the uninterrupted run's results
+exactly.  This exercises the whole stack (coordination, drain, image
+capture/restore, replay) at arbitrary cut points rather than the
+hand-picked ones in the targeted tests.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.tools.api import checkpoint_ref, ompi_checkpoint, ompi_restart, ompi_run
+from tests.conftest import make_universe
+from tests.test_pml import define_app
+
+NP = 4
+STEPS = 30
+
+
+def build_schedule(seed: int) -> list:
+    """A global schedule all ranks derive identically from the seed."""
+    rng = random.Random(seed)
+    schedule = []
+    for _ in range(STEPS):
+        kind = rng.choice(
+            ["pair", "pair", "coll", "compute", "bcast", "any_source", "big"]
+        )
+        if kind == "pair":
+            shift = rng.randrange(1, NP)
+            tag = rng.randrange(0, 8)
+            size = rng.choice([1, 16, 256, 2048])
+            schedule.append(("pair", shift, tag, size))
+        elif kind == "coll":
+            schedule.append(("coll", rng.choice(["allreduce", "allgather", "scan"])))
+        elif kind == "compute":
+            schedule.append(("compute", rng.uniform(1e-4, 3e-3)))
+        elif kind == "bcast":
+            schedule.append(("bcast", rng.randrange(NP)))
+        elif kind == "any_source":
+            schedule.append(("any_source", 50 + rng.randrange(0, 8)))
+        else:  # big: rendezvous-sized transfer around the ring
+            schedule.append(("big", rng.choice([80_000, 150_000])))
+    return schedule
+
+
+def fuzz_app(ctx):
+    seed = int(ctx.args["seed"])
+    schedule = build_schedule(seed)
+    rank, size = ctx.rank, ctx.size
+    acc = 0.0
+    for step_no, step in enumerate(schedule):
+        kind = step[0]
+        if kind == "pair":
+            _, shift, tag, nbytes = step
+            partner_to = (rank + shift) % size
+            partner_from = (rank - shift) % size
+            payload = np.full(nbytes, (rank + step_no) % 251, dtype=np.uint8)
+            got, _status = yield from ctx.sendrecv(
+                payload, partner_to, src=partner_from, tag=tag
+            )
+            acc += float(got[0]) if len(got) else 0.0
+        elif kind == "coll":
+            _, op = step
+            if op == "allreduce":
+                acc = yield from ctx.allreduce(acc + rank)
+            elif op == "allgather":
+                values = yield from ctx.allgather(round(acc, 6))
+                acc += sum(values) / len(values)
+            else:
+                acc = yield from ctx.scan(acc + 1.0)
+        elif kind == "compute":
+            yield ctx.compute(seconds=step[1])
+            acc += 1.0
+        elif kind == "bcast":
+            _, root = step
+            value = round(acc, 6) if rank == root else None
+            acc += (yield from ctx.bcast(value, root=root))
+        elif kind == "any_source":
+            _, tag = step
+            target = (rank + 1) % size
+            req = yield ctx.isend(rank * 1000 + step_no, target, tag)
+            payload, status = yield from ctx.recv(ctx.ANY_SOURCE, tag)
+            acc += payload % 977
+            yield ctx.wait(req)
+        elif kind == "big":
+            _, nbytes = step
+            payload = np.arange(nbytes, dtype=np.uint8)
+            got, _ = yield from ctx.sendrecv(
+                payload, (rank + 1) % size, src=(rank - 1) % size, tag=9
+            )
+            acc += float(got.sum() % 10007)
+    return round(acc, 6)
+
+
+define_app("fuzz_cr", fuzz_app)
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37, 58, 71])
+def test_random_schedule_checkpoint_restart_equivalence(seed):
+    args = {"seed": seed}
+    base = ompi_run(make_universe(4), "fuzz_cr", NP, args=args)
+    assert base.state.value == "finished"
+
+    # Cut at a schedule-dependent time inside the run.
+    universe = make_universe(4)
+    job = ompi_run(universe, "fuzz_cr", NP, args=args, wait=False)
+    cut = 0.04 + (seed % 7) * 0.004
+    handle = ompi_checkpoint(universe, job.jobid, at=cut, terminate=True, wait=False)
+    universe.run_job_to_completion(job)
+
+    reply = handle.result()
+    if not reply.get("ok"):
+        # The run ended before the cut (or raced finalize): that is a
+        # legal outcome — the job itself must simply be unharmed.
+        assert job.state.value == "finished"
+        assert job.results == base.results
+        return
+    assert job.state.value == "halted"
+    new_job = ompi_restart(universe, checkpoint_ref(handle))
+    assert new_job.state.value == "finished"
+    assert new_job.results == base.results
+
+
+@pytest.mark.parametrize("seed", [17, 41])
+def test_random_schedule_under_twophase_protocol(seed):
+    """The same randomized equivalence property must hold under the
+    alternative coordination protocol."""
+    args = {"seed": seed}
+    base = ompi_run(make_universe(4), "fuzz_cr", NP, args=args)
+    universe = make_universe(4, params={"crcp": "twophase"})
+    job = ompi_run(universe, "fuzz_cr", NP, args=args, wait=False)
+    cut = 0.04 + (seed % 5) * 0.005
+    handle = ompi_checkpoint(universe, job.jobid, at=cut, terminate=True, wait=False)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    if not reply.get("ok"):
+        assert job.state.value == "finished"
+        assert job.results == base.results
+        return
+    assert job.state.value == "halted"
+    new_job = ompi_restart(universe, checkpoint_ref(handle))
+    assert new_job.state.value == "finished"
+    assert new_job.results == base.results
+
+
+@pytest.mark.parametrize("seed", [13, 29])
+def test_random_schedule_checkpoint_continue_equivalence(seed):
+    args = {"seed": seed}
+    base = ompi_run(make_universe(4), "fuzz_cr", NP, args=args)
+    universe = make_universe(4)
+    job = ompi_run(universe, "fuzz_cr", NP, args=args, wait=False)
+    handle = ompi_checkpoint(universe, job.jobid, at=0.045, wait=False)
+    universe.run_job_to_completion(job)
+    assert job.state.value == "finished"
+    assert job.results == base.results
+    reply = handle.result()
+    assert reply.get("ok") or "cannot checkpoint" in reply.get("error", "")

@@ -1,0 +1,279 @@
+"""Unit tests for the INC stack, ft_event protocol, and CRS components."""
+
+import pytest
+
+from repro.core.ft_event import FTState, drive_ft_event
+from repro.core.inc import INCStack
+from repro.mca.params import MCAParams
+from repro.mca.registry import default_registry
+from repro.opal.crs.none_crs import NoneCRS
+from repro.opal.crs.self_cb import SELF_STATE_KEY, SelfCRS
+from repro.opal.crs.simcr import SimCR
+from repro.opal.layer import CheckpointRequest, OpalLayer
+from repro.simenv.process import SimProcess
+from repro.util.errors import CheckpointError, NotCheckpointableError
+from repro.util.ids import ProcessName
+from tests.conftest import run_gen
+
+
+class TestINCStack:
+    def test_stack_like_ordering(self, kernel):
+        """Registration returns the previous INC; calls nest LIFO
+        (paper section 5.5)."""
+        stack = INCStack()
+        order = []
+
+        def make(name):
+            def inc(state, down):
+                order.append(f"{name}:pre")
+                yield from down(state)
+                order.append(f"{name}:post")
+
+            return inc
+
+        stack.register("opal", make("opal"))
+        stack.register("orte", make("orte"))
+        stack.register("ompi", make("ompi"))
+        run_gen(kernel, stack.invoke(FTState.CHECKPOINT))
+        assert order == [
+            "ompi:pre",
+            "orte:pre",
+            "opal:pre",
+            "opal:post",
+            "orte:post",
+            "ompi:post",
+        ]
+
+    def test_register_returns_previous(self, kernel):
+        stack = INCStack()
+        called = []
+
+        def bottom(state, down):
+            called.append("bottom")
+            yield from down(state)
+
+        prev_of_bottom = stack.register("bottom", bottom)
+
+        def top(state, down):
+            called.append("top")
+            # The new INC is responsible for calling the previous one.
+            yield from down(state)
+
+        down = stack.register("top", top)
+        run_gen(kernel, down(FTState.CONTINUE))  # call just the old stack
+        assert called == ["bottom"]
+
+    def test_layers_listing(self):
+        stack = INCStack()
+        stack.register("a", lambda s, d: d(s))
+        stack.register("b", lambda s, d: d(s))
+        assert stack.layers == ["a", "b"]
+
+    def test_trace_recording(self, kernel):
+        stack = INCStack()
+        stack.register("opal", lambda s, d: d(s))
+        stack.record_trace = True
+        run_gen(kernel, stack.invoke(FTState.RESTART))
+        assert ("opal", "enter", FTState.RESTART) in stack.trace
+        assert ("opal", "exit", FTState.RESTART) in stack.trace
+
+    def test_empty_stack_invocable(self, kernel):
+        assert run_gen(kernel, INCStack().invoke(FTState.CHECKPOINT)) is None
+
+
+class TestDriveFtEvent:
+    def test_plain_function(self, kernel):
+        class Sub:
+            def __init__(self):
+                self.seen = []
+
+            def ft_event(self, state):
+                self.seen.append(state)
+                return "plain"
+
+        sub = Sub()
+        assert run_gen(kernel, drive_ft_event(sub, FTState.CHECKPOINT)) == "plain"
+        assert sub.seen == [FTState.CHECKPOINT]
+
+    def test_generator_function(self, kernel):
+        from repro.simenv.kernel import Delay
+
+        class Sub:
+            def ft_event(self, state):
+                yield Delay(0.25)
+                return "gen"
+
+        assert run_gen(kernel, drive_ft_event(Sub(), FTState.CHECKPOINT)) == "gen"
+        assert kernel.now == pytest.approx(0.25)
+
+    def test_missing_ft_event_is_noop(self, kernel):
+        assert run_gen(kernel, drive_ft_event(object(), FTState.HALT)) is None
+
+
+def _opal_on(cluster, crs="simcr"):
+    proc = SimProcess(cluster.nodes[0], ProcessName(1, 0), label="t")
+    params = MCAParams({"crs": crs})
+    return OpalLayer(proc, default_registry(), params), proc
+
+
+class FakeContributor:
+    def __init__(self, key, state):
+        self.image_key = key
+        self.state = state
+        self.restored = None
+
+    def capture_image_state(self, crs_name):
+        return self.state
+
+    def restore_image_state(self, state):
+        self.restored = state
+
+
+class TestOpalLayer:
+    def test_crs_selection_defaults_to_simcr(self, cluster):
+        opal, _ = _opal_on(cluster, crs="simcr")
+        assert isinstance(opal.crs, SimCR)
+
+    def test_enable_disable(self, cluster):
+        opal, _ = _opal_on(cluster)
+        assert not opal.checkpoint_enabled
+        opal.enable_checkpoint()
+        assert opal.checkpoint_enabled
+        opal.disable_checkpoint()
+        assert not opal.checkpoint_enabled
+
+    def test_entry_point_requires_enabled(self, cluster):
+        opal, _ = _opal_on(cluster)
+        request = CheckpointRequest(1, cluster.stable_fs, "/snap/r0")
+
+        def main():
+            yield from opal.entry_point(request)
+
+        with pytest.raises(NotCheckpointableError):
+            run_gen(cluster.kernel, main())
+
+    def test_entry_point_writes_local_snapshot(self, cluster):
+        opal, proc = _opal_on(cluster)
+        opal.register_contributor(FakeContributor("sub.a", {"x": 1}))
+        opal.enable_checkpoint()
+        request = CheckpointRequest(3, cluster.stable_fs, "/snap/r0")
+
+        def main():
+            ref, meta = yield from opal.entry_point(request)
+            return ref, meta
+
+        ref, meta = run_gen(cluster.kernel, main())
+        assert cluster.stable_fs.exists(ref.image_path)
+        assert cluster.stable_fs.exists(ref.meta_path)
+        assert meta.interval == 3
+        assert meta.crs_component == "simcr"
+        assert meta.origin_node == proc.node.name
+
+    def test_duplicate_contributor_rejected(self, cluster):
+        opal, _ = _opal_on(cluster)
+        opal.register_contributor(FakeContributor("k", 1))
+        with pytest.raises(ValueError):
+            opal.register_contributor(FakeContributor("k", 2))
+
+    def test_restore_unknown_contributor_rejected(self, cluster):
+        opal, _ = _opal_on(cluster)
+        with pytest.raises(CheckpointError):
+            opal.restore_contributors({"ghost": 1})
+
+    def test_capture_restore_roundtrip(self, cluster):
+        opal, _ = _opal_on(cluster)
+        contributor = FakeContributor("sub.a", {"n": 42})
+        opal.register_contributor(contributor)
+        opal.enable_checkpoint()
+        request = CheckpointRequest(1, cluster.stable_fs, "/snap/r1")
+
+        def do_ckpt():
+            ref, _ = yield from opal.entry_point(request)
+            return ref
+
+        ref = run_gen(cluster.kernel, do_ckpt())
+
+        opal2, _ = _opal_on(cluster)
+        target = FakeContributor("sub.a", None)
+        opal2.register_contributor(target)
+
+        def do_restore():
+            meta, image = yield from opal2.crs.restart_extract(
+                cluster.stable_fs, ref
+            )
+            opal2.crs.restore(opal2, image)
+            return meta
+
+        meta = run_gen(cluster.kernel, do_restore())
+        assert target.restored == {"n": 42}
+        assert meta.rank == 0
+
+
+class TestCRSComponents:
+    def test_none_declines(self, cluster):
+        opal, _ = _opal_on(cluster, crs="none")
+        assert isinstance(opal.crs, NoneCRS)
+        assert not opal.crs.can_checkpoint(opal)
+        with pytest.raises(CheckpointError):
+            opal.crs.capture(opal, None)
+
+    def test_self_requires_callback(self, cluster):
+        opal, _ = _opal_on(cluster, crs="self")
+        assert isinstance(opal.crs, SelfCRS)
+        assert not opal.crs.can_checkpoint(opal)
+        opal.self_callbacks["checkpoint"] = lambda: {"phase": 1}
+        assert opal.crs.can_checkpoint(opal)
+
+    def test_self_capture_includes_user_state(self, cluster):
+        opal, _ = _opal_on(cluster, crs="self")
+        opal.self_callbacks["checkpoint"] = lambda: {"phase": 7}
+        request = CheckpointRequest(1, cluster.stable_fs, "/s")
+        image = opal.crs.capture(opal, request)
+        assert image[SELF_STATE_KEY] == {"phase": 7}
+
+    def test_self_restore_stashes_state_and_restart_cb(self, cluster):
+        opal, _ = _opal_on(cluster, crs="self")
+        seen = []
+        opal.self_callbacks["restart"] = lambda state: seen.append(state)
+        opal.crs.restore(opal, {SELF_STATE_KEY: {"phase": 3}})
+        opal.crs.ft_event(FTState.RESTART)
+        assert seen == [{"phase": 3}]
+
+    def test_self_continue_callback(self, cluster):
+        opal, _ = _opal_on(cluster, crs="self")
+        seen = []
+        opal.self_callbacks["continue"] = lambda: seen.append("cont")
+        opal.crs.ft_event(FTState.CONTINUE)
+        assert seen == ["cont"]
+
+    def test_simcr_restart_extract_wrong_component(self, cluster):
+        from repro.util.errors import RestartError
+
+        opal, _ = _opal_on(cluster, crs="simcr")
+        opal.enable_checkpoint()
+        request = CheckpointRequest(1, cluster.stable_fs, "/s2")
+
+        def do_ckpt():
+            ref, _ = yield from opal.entry_point(request)
+            return ref
+
+        ref = run_gen(cluster.kernel, do_ckpt())
+        other = SelfCRS(MCAParams())
+
+        def do_extract():
+            yield from other.restart_extract(cluster.stable_fs, ref)
+
+        with pytest.raises(RestartError):
+            run_gen(cluster.kernel, do_extract())
+
+    def test_unpicklable_image_rejected(self, cluster):
+        opal, _ = _opal_on(cluster)
+        opal.register_contributor(FakeContributor("bad", lambda: None))
+        opal.enable_checkpoint()
+        request = CheckpointRequest(1, cluster.stable_fs, "/s3")
+
+        def main():
+            yield from opal.entry_point(request)
+
+        with pytest.raises(CheckpointError, match="not picklable"):
+            run_gen(cluster.kernel, main())

@@ -1,0 +1,355 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simenv.kernel import (
+    Delay,
+    Kernel,
+    SimEvent,
+    WaitEvent,
+    first_of,
+    join_all,
+)
+from repro.util.errors import DeadlockError, SimError
+from tests.conftest import run_gen
+
+
+class TestClockAndScheduling:
+    def test_time_starts_at_zero(self, kernel):
+        assert kernel.now == 0.0
+
+    def test_call_later_ordering(self, kernel):
+        seen = []
+        kernel.call_later(0.2, lambda: seen.append("b"))
+        kernel.call_later(0.1, lambda: seen.append("a"))
+        kernel.run()
+        assert seen == ["a", "b"]
+        assert kernel.now == pytest.approx(0.2)
+
+    def test_ties_broken_fifo(self, kernel):
+        seen = []
+        for i in range(5):
+            kernel.call_at(1.0, lambda i=i: seen.append(i))
+        kernel.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_cannot_schedule_in_past(self, kernel):
+        kernel.call_later(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimError):
+            kernel.call_at(0.5, lambda: None)
+
+    def test_run_until_pauses(self, kernel):
+        seen = []
+        kernel.call_at(1.0, lambda: seen.append(1))
+        kernel.call_at(3.0, lambda: seen.append(3))
+        kernel.run(until=2.0)
+        assert seen == [1]
+        assert kernel.now == 2.0
+        kernel.run()
+        assert seen == [1, 3]
+
+
+class TestThreads:
+    def test_delay_advances_clock(self, kernel):
+        def main():
+            yield Delay(0.5)
+            return "done"
+
+        assert run_gen(kernel, main()) == "done"
+        assert kernel.now == pytest.approx(0.5)
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_event_fire_value(self, kernel):
+        event = kernel.event("e")
+
+        def waiter():
+            value = yield WaitEvent(event)
+            return value
+
+        thread = kernel.spawn(waiter(), "w")
+        kernel.call_later(0.1, lambda: event.fire(42))
+        kernel.run()
+        assert thread.result == 42
+
+    def test_event_fail_raises_in_waiter(self, kernel):
+        event = kernel.event("e")
+
+        def waiter():
+            try:
+                yield WaitEvent(event)
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        thread = kernel.spawn(waiter(), "w")
+        kernel.call_later(0.1, lambda: event.fail(RuntimeError("boom")))
+        kernel.run()
+        assert thread.result == "caught boom"
+
+    def test_wait_on_already_fired_event(self, kernel):
+        event = kernel.event("e")
+        event.fire("early")
+
+        def waiter():
+            value = yield WaitEvent(event)
+            return value
+
+        assert run_gen(kernel, waiter()) == "early"
+
+    def test_event_fires_once(self, kernel):
+        event = kernel.event("e")
+        event.fire(1)
+        with pytest.raises(SimError):
+            event.fire(2)
+        with pytest.raises(SimError):
+            event.fail(RuntimeError())
+
+    def test_non_syscall_yield_is_error(self, kernel):
+        def bad():
+            yield "not a syscall"
+
+        thread = kernel.spawn(bad(), "bad")
+        kernel.run()
+        assert not thread.alive
+        assert thread.done.fired
+
+    def test_thread_exception_fails_done(self, kernel):
+        def bad():
+            yield Delay(0.1)
+            raise ValueError("oops")
+
+        thread = kernel.spawn(bad(), "bad")
+        kernel.run()
+        with pytest.raises(ValueError):
+            run_gen(kernel, _reraise(thread))
+
+
+def _reraise(thread):
+    value = yield WaitEvent(thread.done)
+    return value
+
+
+class TestKill:
+    def test_kill_blocked_thread(self, kernel):
+        event = kernel.event("never")
+
+        def waiter():
+            yield WaitEvent(event)
+
+        thread = kernel.spawn(waiter(), "w")
+        kernel.call_later(0.1, thread.kill)
+        kernel.run()
+        assert not thread.alive
+        assert thread.done.fired
+
+    def test_kill_is_idempotent(self, kernel):
+        def sleeper():
+            yield Delay(10)
+
+        thread = kernel.spawn(sleeper(), "s")
+        kernel.call_later(0.1, thread.kill)
+        kernel.call_later(0.2, thread.kill)
+        kernel.run()
+        assert not thread.alive
+
+    def test_self_kill_allows_clean_return(self, kernel):
+        """A thread may mark itself dead (process exit) and still return."""
+
+        def main():
+            yield Delay(0.1)
+            thread.kill()
+            return "clean"
+
+        thread = kernel.spawn(main(), "m")
+        kernel.run()
+        assert thread.result == "clean"
+        assert thread.done.fired
+
+
+class TestDeadlockDetection:
+    def test_blocked_nondaemon_is_deadlock(self, kernel):
+        event = kernel.event("never")
+
+        def waiter():
+            yield WaitEvent(event)
+
+        kernel.spawn(waiter(), "stuck")
+        with pytest.raises(DeadlockError) as info:
+            kernel.run()
+        assert "stuck" in info.value.blocked
+
+    def test_blocked_daemon_is_not_deadlock(self, kernel):
+        event = kernel.event("never")
+
+        def waiter():
+            yield WaitEvent(event)
+
+        kernel.spawn(waiter(), "service", daemon=True)
+        kernel.run()  # must not raise
+
+
+class TestQueue:
+    def test_fifo(self, kernel):
+        queue = kernel.queue("q")
+        queue.put(1)
+        queue.put(2)
+
+        def getter():
+            a = yield from queue.get()
+            b = yield from queue.get()
+            return (a, b)
+
+        assert run_gen(kernel, getter()) == (1, 2)
+
+    def test_blocking_get(self, kernel):
+        queue = kernel.queue("q")
+
+        def getter():
+            value = yield from queue.get()
+            return value
+
+        thread = kernel.spawn(getter(), "g")
+        kernel.call_later(0.3, lambda: queue.put("late"))
+        kernel.run()
+        assert thread.result == "late"
+        assert kernel.now == pytest.approx(0.3)
+
+    def test_try_get(self, kernel):
+        queue = kernel.queue("q")
+        assert queue.try_get() == (False, None)
+        queue.put(9)
+        assert queue.try_get() == (True, 9)
+        assert len(queue) == 0
+
+    def test_killed_getter_does_not_swallow_items(self, kernel):
+        """Regression: a stale getter left by a killed thread must not
+        consume a later put (this lost MPI frames at BTL pump pause)."""
+        queue = kernel.queue("q")
+
+        def getter():
+            value = yield from queue.get()
+            return value
+
+        doomed = kernel.spawn(getter(), "doomed")
+        kernel.call_later(0.1, doomed.kill)
+        kernel.call_later(0.2, lambda: queue.put("precious"))
+        survivor = kernel.spawn(getter(), "survivor")
+        kernel.call_later(0.15, lambda: None)  # keep ordering explicit
+        kernel.run()
+        assert survivor.result == "precious"
+
+    def test_kill_racing_fired_getter_requeues_item(self, kernel):
+        """If the item was already routed to a getter whose thread is
+        killed before it runs, the item goes back to the queue front."""
+        queue = kernel.queue("q")
+
+        def getter():
+            value = yield from queue.get()
+            return value
+
+        doomed = kernel.spawn(getter(), "doomed")
+
+        def put_and_kill():
+            queue.put("survivor-item")  # fires doomed's getter event
+            doomed.kill()  # killed before its resume step runs
+
+        kernel.call_later(0.1, put_and_kill)
+        kernel.run()
+        assert len(queue) == 1
+        late = kernel.spawn(getter(), "late")
+        kernel.run()
+        assert late.result == "survivor-item"
+
+    def test_multiple_getters_fifo(self, kernel):
+        queue = kernel.queue("q")
+        results = []
+
+        def getter(tag):
+            value = yield from queue.get()
+            results.append((tag, value))
+
+        kernel.spawn(getter("first"), "g1")
+        kernel.spawn(getter("second"), "g2")
+        kernel.call_later(0.1, lambda: queue.put("a"))
+        kernel.call_later(0.2, lambda: queue.put("b"))
+        kernel.run()
+        assert results == [("first", "a"), ("second", "b")]
+
+
+class TestCombinators:
+    def test_join_all_collects_results(self, kernel):
+        events = [kernel.event(f"e{i}") for i in range(3)]
+        joined = join_all(events, kernel)
+        for i, event in enumerate(events):
+            kernel.call_later(0.1 * (i + 1), lambda e=event, i=i: e.fire(i * 10))
+
+        def waiter():
+            values = yield WaitEvent(joined)
+            return values
+
+        assert run_gen(kernel, waiter()) == [0, 10, 20]
+
+    def test_join_all_empty_fires_immediately(self, kernel):
+        joined = join_all([], kernel)
+        assert joined.fired
+
+    def test_join_all_propagates_failure(self, kernel):
+        events = [kernel.event("a"), kernel.event("b")]
+        joined = join_all(events, kernel)
+        kernel.call_later(0.1, lambda: events[0].fail(RuntimeError("x")))
+        kernel.call_later(0.2, lambda: events[1].fire(1))
+
+        def waiter():
+            try:
+                yield WaitEvent(joined)
+            except RuntimeError:
+                return "failed"
+
+        assert run_gen(kernel, waiter()) == "failed"
+
+    def test_first_of_reports_winner(self, kernel):
+        events = [kernel.event("slow"), kernel.event("fast")]
+        race = first_of(kernel, events)
+        kernel.call_later(0.2, lambda: events[0].fire("s"))
+        kernel.call_later(0.1, lambda: events[1].fire("f"))
+
+        def waiter():
+            outcome = yield WaitEvent(race)
+            return outcome
+
+        index, value, exc = run_gen(kernel, waiter())
+        assert (index, value, exc) == (1, "f", None)
+
+    def test_first_of_captures_failure(self, kernel):
+        events = [kernel.event("a")]
+        race = first_of(kernel, events)
+        kernel.call_later(0.1, lambda: events[0].fail(ValueError("v")))
+
+        def waiter():
+            outcome = yield WaitEvent(race)
+            return outcome
+
+        index, value, exc = run_gen(kernel, waiter())
+        assert index == 0 and value is None and isinstance(exc, ValueError)
+
+
+class TestDeterminism:
+    def test_identical_runs_schedule_identically(self):
+        def build_and_run():
+            kernel = Kernel()
+            trace = []
+            kernel.trace = lambda t, name, ev: trace.append((round(t, 9), name, ev))
+
+            def worker(tag, delay):
+                yield Delay(delay)
+                return tag
+
+            for i in range(10):
+                kernel.spawn(worker(i, 0.01 * (i % 3 + 1)), f"w{i}")
+            kernel.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,153 @@
+"""Unit tests for the MPI matching engine."""
+
+import pytest
+
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+from repro.ompi.pml.matching import MatchingEngine, MPIMsg, PostedRecv
+from repro.util.errors import MPIError
+
+
+def eager(src=0, tag=1, cid=0, seq=0, payload="p", msg_id=0):
+    return MPIMsg("eager", cid, src, 9, tag, seq, 8, payload=payload, msg_id=msg_id)
+
+
+def rts(src=0, tag=1, cid=0, seq=0, msg_id=1):
+    return MPIMsg("rts", cid, src, 9, tag, seq, 1 << 20, msg_id=msg_id)
+
+
+def data(src=0, tag=1, cid=0, seq=0, payload="big", msg_id=1):
+    return MPIMsg("data", cid, src, 9, tag, seq, 1 << 20, payload=payload, msg_id=msg_id)
+
+
+class TestPostedRecvMatching:
+    def test_exact_match(self):
+        recv = PostedRecv(1, 0, 0, 1)
+        assert recv.matches(eager(src=0, tag=1))
+        assert not recv.matches(eager(src=1, tag=1))
+        assert not recv.matches(eager(src=0, tag=2))
+        assert not recv.matches(eager(cid=5))
+
+    def test_wildcards(self):
+        assert PostedRecv(1, 0, ANY_SOURCE, 1).matches(eager(src=3))
+        assert PostedRecv(1, 0, 0, ANY_TAG).matches(eager(tag=42))
+        assert PostedRecv(1, 0, ANY_SOURCE, ANY_TAG).matches(eager(src=2, tag=9))
+
+
+class TestArriveThenPost:
+    def test_unexpected_then_matched(self):
+        engine = MatchingEngine()
+        assert engine.arrive(eager()) is None
+        got = engine.post(PostedRecv(1, 0, 0, 1))
+        assert got is not None and got.payload == "p"
+        assert engine.unexpected == []
+
+    def test_post_then_arrive(self):
+        engine = MatchingEngine()
+        assert engine.post(PostedRecv(1, 0, 0, 1)) is None
+        matched = engine.arrive(eager())
+        assert matched is not None and matched.req_id == 1
+        assert engine.posted == []
+
+    def test_fifo_among_matching_unexpected(self):
+        engine = MatchingEngine()
+        engine.arrive(eager(seq=0, payload="first"))
+        engine.arrive(eager(seq=1, payload="second"))
+        got = engine.post(PostedRecv(1, 0, ANY_SOURCE, ANY_TAG))
+        assert got.payload == "first"
+
+    def test_fifo_among_posted(self):
+        engine = MatchingEngine()
+        engine.post(PostedRecv(1, 0, ANY_SOURCE, ANY_TAG))
+        engine.post(PostedRecv(2, 0, ANY_SOURCE, ANY_TAG))
+        matched = engine.arrive(eager())
+        assert matched.req_id == 1
+
+    def test_rts_ordering_with_eager(self):
+        """An RTS that arrived before an eager from the same sender must
+        match first (cross-protocol ordering)."""
+        engine = MatchingEngine()
+        engine.arrive(rts(seq=0, msg_id=7))
+        engine.arrive(eager(seq=1))
+        got = engine.post(PostedRecv(1, 0, 0, ANY_TAG))
+        assert got.kind == "rts" and got.msg_id == 7
+
+    def test_non_matching_posted_queues(self):
+        engine = MatchingEngine()
+        engine.arrive(eager(tag=5))
+        assert engine.post(PostedRecv(1, 0, 0, 6)) is None
+        assert len(engine.posted) == 1
+        assert len(engine.unexpected) == 1
+
+    def test_cancel_post(self):
+        engine = MatchingEngine()
+        engine.post(PostedRecv(1, 0, 0, 1))
+        assert engine.cancel_post(1)
+        assert not engine.cancel_post(1)
+        assert engine.posted == []
+
+    def test_arrive_rejects_bad_kinds(self):
+        engine = MatchingEngine()
+        with pytest.raises(MPIError):
+            engine.arrive(data())
+
+
+class TestDrainBookkeeping:
+    def test_draining_rts_skipped_by_post(self):
+        engine = MatchingEngine()
+        engine.arrive(rts(msg_id=5))
+        engine.draining.add(5)
+        assert engine.post(PostedRecv(1, 0, 0, ANY_TAG)) is None
+
+    def test_replace_rts_with_data_preserves_order(self):
+        engine = MatchingEngine()
+        engine.arrive(rts(seq=0, msg_id=5))
+        engine.arrive(eager(seq=1, payload="later"))
+        engine.draining.add(5)
+        engine.replace_rts_with_data(data(seq=0, msg_id=5, payload="early"))
+        got = engine.post(PostedRecv(1, 0, 0, ANY_TAG))
+        assert got.payload == "early"
+        assert 5 not in engine.draining
+
+    def test_replace_unknown_msg_id_raises(self):
+        engine = MatchingEngine()
+        with pytest.raises(MPIError):
+            engine.replace_rts_with_data(data(msg_id=99))
+
+    def test_pending_rts_excludes_draining(self):
+        engine = MatchingEngine()
+        engine.arrive(rts(msg_id=1, seq=0))
+        engine.arrive(rts(msg_id=2, seq=1))
+        engine.draining.add(1)
+        assert [m.msg_id for m in engine.pending_rts()] == [2]
+
+
+class TestCaptureRestore:
+    def test_roundtrip(self):
+        engine = MatchingEngine()
+        engine.post(PostedRecv(4, 0, 1, 2))
+        engine.arrive(eager(src=2, tag=3, payload=[1, 2]))
+        state = engine.capture()
+        restored = MatchingEngine()
+        restored.restore(state)
+        assert restored.posted == engine.posted
+        assert [m.payload for m in restored.unexpected] == [[1, 2]]
+        # The restored engine still matches correctly.
+        got = restored.post(PostedRecv(5, 0, 2, 3))
+        assert got.payload == [1, 2]
+
+    def test_capture_with_undrained_rts_rejected(self):
+        engine = MatchingEngine()
+        engine.arrive(rts(msg_id=1))
+        with pytest.raises(MPIError):
+            engine.capture()
+
+    def test_capture_while_draining_rejected(self):
+        engine = MatchingEngine()
+        engine.arrive(rts(msg_id=1))
+        engine.draining.add(1)
+        with pytest.raises(MPIError):
+            engine.capture()
+
+    def test_msg_state_roundtrip(self):
+        msg = eager(payload={"k": [1, 2]})
+        assert MPIMsg.from_state(msg.to_state()) == msg

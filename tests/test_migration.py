@@ -1,0 +1,144 @@
+"""Tests for the process-migration extension (paper section 8) and for
+checkpoints landing inside collectives."""
+
+import pytest
+
+from repro.tools.api import ompi_checkpoint, ompi_migrate, ompi_restart, ompi_run
+from repro.util.errors import RestartError
+from tests.conftest import make_universe
+from tests.test_pml import define_app
+
+JARGS = {"n_global": 256, "iters": 30000}
+
+
+class TestMigration:
+    def test_migrate_preserves_results(self):
+        base = ompi_run(make_universe(4), "jacobi", 4, args=JARGS).results
+        universe = make_universe(4)
+        job = ompi_run(universe, "jacobi", 4, args=JARGS, wait=False)
+        migrated = ompi_migrate(
+            universe,
+            job.jobid,
+            {0: "node03", 1: "node03", 2: "node03", 3: "node03"},
+            at=0.08,
+        )
+        assert job.state.value == "halted"
+        assert migrated.state.value == "finished"
+        assert set(migrated.placements.values()) == {"node03"}
+        assert migrated.results == base
+
+    def test_partial_placement_keeps_other_ranks(self):
+        universe = make_universe(4)
+        job = ompi_run(universe, "jacobi", 4, args=JARGS, wait=False)
+        migrated = ompi_migrate(universe, job.jobid, {2: "node00"}, at=0.08)
+        assert migrated.placements[2] == "node00"
+        assert migrated.placements[0] == "node00"  # origin preference
+        assert migrated.placements[1] == "node01"
+
+    def test_migrate_to_down_node_fails_cleanly(self):
+        universe = make_universe(4)
+        # np=2 leaves node03 unused, so its crash does not hurt the job.
+        job = ompi_run(universe, "jacobi", 2, args=JARGS, wait=False)
+        universe.cluster.failures.crash_node_at(0.05, "node03")
+        handle = ompi_migrate(
+            universe, job.jobid, {0: "node03"}, at=0.08, wait=False
+        )
+        universe.run_job_to_completion(job)
+        reply = handle.wait()
+        assert reply["ok"] is False
+        assert "not up" in reply["error"]
+
+    def test_migrate_unknown_job(self):
+        universe = make_universe(2)
+        handle = ompi_migrate(universe, 777, {}, wait=False)
+        reply = handle.wait()
+        assert reply["ok"] is False
+
+    def test_nonportable_migration_gated(self):
+        from repro.mca.params import MCAParams
+        from repro.orte.universe import Universe
+        from repro.simenv.cluster import Cluster, ClusterSpec
+
+        spec = ClusterSpec(
+            n_nodes=2, os_tags=["linux-x86_64", "bsd-ppc64"]
+        )
+        universe = Universe(
+            Cluster(spec), MCAParams({"crs_simcr_portable": "0"})
+        )
+        job = ompi_run(
+            universe,
+            "churn",
+            1,
+            args={"loops": 60, "compute_s": 0.01},
+            wait=False,
+        )
+        handle = ompi_migrate(
+            universe, job.jobid, {0: "node01"}, at=0.08, wait=False
+        )
+        universe.run_job_to_completion(job)
+        reply = handle.wait()
+        assert reply["ok"] is False
+        assert "portable" in reply["error"]
+
+
+class TestCheckpointDuringCollectives:
+    """Checkpoints landing inside multi-step collective algorithms —
+    the case the paper's 'collectives layered over point-to-point'
+    foundation makes checkpointable."""
+
+    def _collective_loop_app(self):
+        def main(ctx):
+            import numpy as np
+
+            value = np.full(64, float(ctx.rank))
+            total = None
+            for _step in range(400):
+                total = yield from ctx.allreduce(value)
+                gathered = yield from ctx.allgather(ctx.rank)
+                assert gathered == list(range(ctx.size))
+                yield ctx.compute(seconds=5e-4)
+            return float(total.sum())
+
+        return main
+
+    def test_checkpoint_terminate_mid_collective_restart_exact(self):
+        define_app("t_coll_ckpt", self._collective_loop_app())
+        base_universe = make_universe(4)
+        base = ompi_run(base_universe, "t_coll_ckpt", 4)
+        assert base.state.value == "finished"
+
+        universe = make_universe(4)
+        job = ompi_run(universe, "t_coll_ckpt", 4, wait=False)
+        handle = ompi_checkpoint(
+            universe, job.jobid, at=0.15, terminate=True, wait=False
+        )
+        universe.run_job_to_completion(job)
+        assert job.state.value == "halted", handle.reply
+        new_job = ompi_restart(universe, job.snapshots[-1])
+        assert new_job.state.value == "finished"
+        assert new_job.results == base.results
+
+    def test_checkpoint_continue_mid_collective(self):
+        define_app("t_coll_cont", self._collective_loop_app())
+        base = ompi_run(make_universe(4), "t_coll_cont", 4).results
+        universe = make_universe(4)
+        job = ompi_run(universe, "t_coll_cont", 4, wait=False)
+        handle = ompi_checkpoint(universe, job.jobid, at=0.15, wait=False)
+        universe.run_job_to_completion(job)
+        assert job.state.value == "finished"
+        assert handle.result()["ok"], handle.result()
+        assert job.results == base
+
+    @pytest.mark.parametrize("at", [0.05, 0.09, 0.13])
+    def test_checkpoint_at_various_phases(self, at):
+        """Different request times land in different collective phases;
+        all must restart exactly."""
+        define_app("t_coll_phase", self._collective_loop_app())
+        base = ompi_run(make_universe(4), "t_coll_phase", 4).results
+        universe = make_universe(4)
+        job = ompi_run(universe, "t_coll_phase", 4, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=at, terminate=True, wait=False)
+        universe.run_job_to_completion(job)
+        assert job.state.value == "halted"
+        new_job = ompi_restart(universe, job.snapshots[-1])
+        assert new_job.results == base

@@ -1,0 +1,198 @@
+"""Unit tests for OMPI data objects: requests, groups, communicators,
+datatypes, status."""
+
+import numpy as np
+import pytest
+
+from repro.ompi.communicator import Communicator
+from repro.ompi.datatype import copy_payload, nbytes_of
+from repro.ompi.group import Group
+from repro.ompi.request import Request, RequestTable
+from repro.ompi.status import Status
+from repro.simenv.kernel import Kernel
+from repro.util.errors import MPIError
+from tests.conftest import run_gen
+
+
+class TestRequest:
+    def test_complete_then_wait_returns_immediately(self, kernel):
+        table = RequestTable(kernel)
+        req = table.new("recv")
+        req.complete_ok(("payload", None))
+
+        def main():
+            result = yield from req.wait()
+            return result
+
+        assert run_gen(kernel, main()) == ("payload", None)
+
+    def test_wait_blocks_until_complete(self, kernel):
+        table = RequestTable(kernel)
+        req = table.new("recv")
+
+        def main():
+            result = yield from req.wait()
+            return result
+
+        thread = kernel.spawn(main(), "w")
+        kernel.call_later(0.5, lambda: req.complete_ok(7))
+        kernel.run()
+        assert thread.result == 7
+        assert kernel.now == pytest.approx(0.5)
+
+    def test_double_complete_rejected(self, kernel):
+        req = RequestTable(kernel).new("send")
+        req.complete_ok(None)
+        with pytest.raises(MPIError):
+            req.complete_ok(None)
+
+    def test_error_completion_raises_in_wait(self, kernel):
+        table = RequestTable(kernel)
+        req = table.new("send")
+        req.complete_error("link down")
+
+        def main():
+            yield from req.wait()
+
+        with pytest.raises(MPIError, match="link down"):
+            run_gen(kernel, main())
+
+    def test_test_semantics(self, kernel):
+        req = RequestTable(kernel).new("recv")
+        assert req.test() == (False, None)
+        req.complete_ok("x")
+        assert req.test() == (True, "x")
+
+
+class TestRequestTable:
+    def test_ids_monotonic(self, kernel):
+        table = RequestTable(kernel)
+        ids = [table.new("send").id for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_get_unknown_raises(self, kernel):
+        with pytest.raises(MPIError):
+            RequestTable(kernel).get(42)
+
+    def test_free_then_get_raises(self, kernel):
+        table = RequestTable(kernel)
+        req = table.new("send")
+        table.free(req.id)
+        with pytest.raises(MPIError):
+            table.get(req.id)
+
+    def test_pending_filters(self, kernel):
+        table = RequestTable(kernel)
+        send = table.new("send")
+        recv = table.new("recv")
+        send.complete_ok(None)
+        assert table.pending == [recv]
+        assert table.pending_of_kind("send") == []
+        assert table.pending_of_kind("recv") == [recv]
+
+    def test_capture_restore_roundtrip(self, kernel):
+        table = RequestTable(kernel)
+        done = table.new("recv")
+        done.complete_ok(("data", (0, 1, 4)))
+        pending = table.new("recv")
+        pending.recv_params = (0, 2, 3)
+        state = table.capture()
+
+        restored = RequestTable(Kernel())
+        restored.restore(state)
+        assert restored.get(done.id).complete
+        assert restored.get(done.id).result == ("data", (0, 1, 4))
+        assert not restored.get(pending.id).complete
+        assert restored.get(pending.id).recv_params == (0, 2, 3)
+        assert restored.new("send").id == 3  # id counter continues
+
+
+class TestGroup:
+    def test_translation(self):
+        group = Group([4, 2, 7])
+        assert group.size == 3
+        assert group.world_rank(1) == 2
+        assert group.group_rank(7) == 2
+        assert group.group_rank(99) == -1
+        assert group.contains(4) and not group.contains(5)
+
+    def test_out_of_range(self):
+        with pytest.raises(MPIError):
+            Group([0, 1]).world_rank(5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MPIError):
+            Group([1, 1])
+
+    def test_set_operations(self):
+        a, b = Group([0, 1, 2]), Group([2, 3])
+        assert a.union(b).ranks == (0, 1, 2, 3)
+        assert a.intersection(b).ranks == (2,)
+        assert a.difference(b).ranks == (0, 1)
+
+    def test_incl_excl(self):
+        group = Group([5, 6, 7, 8])
+        assert group.incl([0, 2]).ranks == (5, 7)
+        assert group.excl([1]).ranks == (5, 7, 8)
+
+    def test_equality_and_hash(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])
+        assert hash(Group([3])) == hash(Group([3]))
+
+
+class TestCommunicator:
+    def test_rank_resolution(self):
+        comm = Communicator(0, Group([0, 1, 2, 3]), 2)
+        assert comm.rank == 2 and comm.size == 4
+        assert comm.world_rank(3) == 3
+        assert comm.peer_ranks() == [0, 1, 3]
+
+    def test_subgroup_rank_remapping(self):
+        comm = Communicator(5, Group([6, 4]), 4)
+        assert comm.rank == 1
+        assert comm.world_rank(0) == 6
+        assert comm.comm_rank(6) == 0
+
+    def test_nonmember_rejected(self):
+        with pytest.raises(MPIError):
+            Communicator(0, Group([0, 1]), 5)
+
+
+class TestDatatype:
+    def test_nbytes_bytes(self):
+        assert nbytes_of(b"abc") == 3
+        assert nbytes_of(None) == 0
+
+    def test_nbytes_numpy(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert nbytes_of(arr) == 800
+
+    def test_nbytes_scalars_fixed(self):
+        assert nbytes_of(7) == 16
+        assert nbytes_of(3.14) == 16
+        assert nbytes_of(True) == 16
+
+    def test_nbytes_generic_via_pickle(self):
+        assert nbytes_of({"a": [1, 2, 3]}) > 0
+
+    def test_copy_payload_independence(self):
+        arr = np.arange(4)
+        copy = copy_payload(arr)
+        arr[0] = 99
+        assert copy[0] == 0
+        data = {"k": [1]}
+        copy2 = copy_payload(data)
+        data["k"].append(2)
+        assert copy2 == {"k": [1]}
+
+    def test_copy_payload_immutable_fast_path(self):
+        s = "immutable"
+        assert copy_payload(s) is s
+        assert copy_payload(None) is None
+
+
+class TestStatus:
+    def test_tuple_roundtrip(self):
+        status = Status(2, 7, 128)
+        assert Status.from_tuple(status.to_tuple()) == status

@@ -1,0 +1,192 @@
+"""Tests for the op layer and the application runner's record-replay
+semantics (the simcr process-image substitution, DESIGN.md decision 1)."""
+
+import pytest
+
+from repro.mca.params import MCAParams
+from repro.ompi import errors_map
+from repro.ompi.ops import MPIOp, OpCompute, OpNow
+from repro.tools.api import ompi_restart, ompi_run
+from repro.util.errors import (
+    CheckpointError,
+    MPIError,
+    NotCheckpointableError,
+    ReproError,
+)
+from tests.conftest import make_universe
+from tests.test_pml import define_app
+
+
+class TestOpValidation:
+    def test_compute_requires_exactly_one_arg(self):
+        with pytest.raises(ValueError):
+            OpCompute()
+        with pytest.raises(ValueError):
+            OpCompute(seconds=1, work=1)
+        OpCompute(seconds=1)
+        OpCompute(work=1)
+
+    def test_wait_requires_integer_handle(self):
+        from repro.ompi.ops import OpWait
+
+        with pytest.raises(MPIError):
+            OpWait("not-a-handle")
+
+    def test_yielding_non_op_fails_job(self):
+        def main(ctx):
+            yield "garbage"
+
+        define_app("t_non_op", main)
+        job = ompi_run(make_universe(2), "t_non_op", 1)
+        assert job.state.value == "failed"
+
+
+class TestErrorsMap:
+    def test_known_type_reconstructed(self):
+        exc = errors_map.rebuild("MPIError", "boom")
+        assert isinstance(exc, MPIError)
+        assert str(exc) == "boom"
+
+    def test_unknown_type_falls_back(self):
+        exc = errors_map.rebuild("WeirdError", "x")
+        assert isinstance(exc, ReproError)
+
+    def test_exotic_constructor_falls_back(self):
+        exc = errors_map.rebuild("NotCheckpointableError", "[1,0]")
+        assert isinstance(exc, (NotCheckpointableError, ReproError))
+
+
+class TestRecordReplay:
+    def test_op_failures_replay_identically(self):
+        """An application that catches an op error and continues must
+        restart through the same error path."""
+        universe = make_universe(2)
+
+        def main(ctx):
+            events = []
+            yield ctx.compute(seconds=0.001)
+            try:
+                # Deliberate failure: checkpoint with crcp fine but a
+                # bad destination rank raises inside the op.
+                yield ctx.isend("x", 99, 1)
+            except MPIError:
+                events.append("caught")
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                result = yield ctx.checkpoint(terminate=True)
+                assert result.get("restarted")
+            yield from ctx.barrier()
+            events.append("done")
+            return events
+
+        define_app("t_err_replay", main)
+        job = ompi_run(universe, "t_err_replay", 2, wait=False)
+        universe.run_job_to_completion(job)
+        assert job.state.value == "halted"
+        new_job = ompi_restart(universe, job.snapshots[-1])
+        assert new_job.state.value == "finished"
+        assert all(v == ["caught", "done"] for v in new_job.results.values())
+
+    def test_now_is_replayed_not_reread(self):
+        """Timestamps observed before a checkpoint replay exactly, even
+        though the restarted process runs at a later simulated time."""
+        universe = make_universe(2)
+
+        def main(ctx):
+            early = yield ctx.now()
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                yield ctx.checkpoint(terminate=True)
+            yield from ctx.barrier()
+            late = yield ctx.now()
+            return (early, late)
+
+        define_app("t_now_replay", main)
+        job = ompi_run(universe, "t_now_replay", 2, wait=False)
+        universe.run_job_to_completion(job)
+        first_early = {}
+
+        new_job = ompi_restart(universe, job.snapshots[-1])
+        for rank, (early, late) in new_job.results.items():
+            # `early` predates the checkpoint; `late` postdates restart.
+            assert early < 0.1
+            assert late > early
+
+    def test_rng_draws_identical_across_restart(self):
+        universe = make_universe(2)
+
+        def main(ctx):
+            pre = ctx.rng.uniform()
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                yield ctx.checkpoint(terminate=True)
+            yield from ctx.barrier()
+            post = ctx.rng.uniform()
+            return (pre, post)
+
+        define_app("t_rng_replay", main)
+        job = ompi_run(universe, "t_rng_replay", 2, wait=False)
+        universe.run_job_to_completion(job)
+        new_job = ompi_restart(universe, job.snapshots[-1])
+        # Same seed + same stream + same draw sequence = same values as
+        # an undisturbed run.
+        undisturbed = ompi_run(make_universe(2), "t_rng_replay", 2, wait=False)
+        # (the undisturbed job halts too — compare against another
+        # restarted run instead for exactness)
+        universe2 = make_universe(2)
+        job2 = ompi_run(universe2, "t_rng_replay", 2, wait=False)
+        universe2.run_job_to_completion(job2)
+        new_job2 = ompi_restart(universe2, job2.snapshots[-1])
+        assert new_job.results == new_job2.results
+
+    def test_log_suppressed_on_replay(self):
+        """OpLog side effects do not repeat during replay (the log op's
+        outcome is read from the record instead)."""
+        import logging
+
+        records = []
+        handler = logging.Handler()
+        handler.emit = lambda record: records.append(record.getMessage())
+        logger = logging.getLogger("repro.ompi.ops")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.INFO)
+        try:
+            universe = make_universe(2)
+
+            def main(ctx):
+                yield ctx.log("ONCE-ONLY")
+                yield from ctx.barrier()
+                if ctx.rank == 0:
+                    yield ctx.checkpoint(terminate=True)
+                yield from ctx.barrier()
+                return "ok"
+
+            define_app("t_log_replay", main)
+            job = ompi_run(universe, "t_log_replay", 2, wait=False)
+            universe.run_job_to_completion(job)
+            before = sum("ONCE-ONLY" in m for m in records)
+            new_job = ompi_restart(universe, job.snapshots[-1])
+            after = sum("ONCE-ONLY" in m for m in records)
+            assert new_job.state.value == "finished"
+            assert before == 2  # one per rank, first life
+            assert after == before  # replay emitted nothing new
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+
+
+class TestLaunchFailure:
+    def test_dead_node_at_launch_fails_job_and_kills_orphans(self):
+        """Regression: a launch that dies half-way must not leave the
+        already-created ranks waiting for INIT_GO forever."""
+        universe = make_universe(4)
+        job = ompi_run(universe, "jacobi", 4, args={"n_global": 128, "iters": 1000}, wait=False)
+        universe.cluster.failures.crash_node_now("node03")
+        universe.run_job_to_completion(job)
+        assert job.state.value == "failed"
+        # No live application processes remain.
+        from repro.util.ids import ProcessName
+
+        for rank in range(4):
+            assert universe.lookup(ProcessName(job.jobid, rank)) is None

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) of the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mca.params import MCAParams
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+from repro.ompi.pml.matching import MatchingEngine, MPIMsg, PostedRecv
+from repro.util.seq import SeqWindow
+from repro.vfs import path as vpath
+
+# ---------------------------------------------------------------------------
+# SeqWindow: delivery of any permutation of 0..n-1 ends fully contiguous
+# ---------------------------------------------------------------------------
+
+
+@given(st.permutations(list(range(30))))
+def test_seq_window_any_permutation_converges(order):
+    window = SeqWindow()
+    for seq in order:
+        window.deliver(seq)
+    assert window.contiguous == 30
+    assert window.total_delivered == 30
+    assert window.missing_below(30) == []
+
+
+@given(st.permutations(list(range(20))), st.integers(0, 19))
+def test_seq_window_snapshot_restore_midway(order, cut):
+    window = SeqWindow()
+    for seq in order[:cut]:
+        window.deliver(seq)
+    restored = SeqWindow.restore(window.snapshot())
+    for seq in order[cut:]:
+        restored.deliver(seq)
+    assert restored.contiguous == 20
+
+
+# ---------------------------------------------------------------------------
+# Matching engine vs a reference model
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def arrivals(draw):
+    n = draw(st.integers(1, 12))
+    msgs = []
+    for seq in range(n):
+        msgs.append(
+            MPIMsg(
+                "eager",
+                cid=0,
+                src=draw(st.integers(0, 2)),
+                dst=9,
+                tag=draw(st.integers(0, 3)),
+                seq=seq,
+                nbytes=4,
+                payload=seq,
+            )
+        )
+    return msgs
+
+
+@st.composite
+def posts(draw):
+    n = draw(st.integers(1, 12))
+    out = []
+    for i in range(n):
+        out.append(
+            PostedRecv(
+                req_id=i + 1,
+                cid=0,
+                src=draw(st.sampled_from([ANY_SOURCE, 0, 1, 2])),
+                tag=draw(st.sampled_from([ANY_TAG, 0, 1, 2, 3])),
+            )
+        )
+    return out
+
+
+@given(arrivals(), posts())
+@settings(max_examples=200)
+def test_matching_engine_agrees_with_oracle_arrive_first(msgs, recvs):
+    """All messages arrive, then receives post: the engine must hand
+    each post the earliest matching buffered message (MPI ordering)."""
+    engine = MatchingEngine()
+    # Per-sender seq must be increasing; reindex seq per src.
+    per_src = {}
+    for msg in msgs:
+        msg.seq = per_src.get(msg.src, 0)
+        per_src[msg.src] = msg.seq + 1
+    for msg in msgs:
+        assert engine.arrive(msg) is None
+    got = []
+    for recv in recvs:
+        hit = engine.post(recv)
+        got.append((hit.src, hit.seq) if hit is not None else None)
+    expected = []
+    remaining = list(msgs)
+    for recv in recvs:
+        hit = None
+        for msg in remaining:
+            if recv.matches(msg):
+                hit = msg
+                break
+        if hit is not None:
+            remaining.remove(hit)
+            expected.append((hit.src, hit.seq))
+        else:
+            expected.append(None)
+    assert got == expected
+
+
+@given(arrivals())
+@settings(max_examples=100)
+def test_matching_capture_restore_transparent(msgs):
+    """Capture+restore of the engine must not change future matching."""
+    per_src = {}
+    for msg in msgs:
+        msg.seq = per_src.get(msg.src, 0)
+        per_src[msg.src] = msg.seq + 1
+    a, b = MatchingEngine(), MatchingEngine()
+    for msg in msgs:
+        a.arrive(msg)
+        b.arrive(MPIMsg.from_state(msg.to_state()))
+    b.restore(b.capture())
+    for req_id in range(1, len(msgs) + 1):
+        recv = PostedRecv(req_id, 0, ANY_SOURCE, ANY_TAG)
+        ha = a.post(recv)
+        hb = b.post(PostedRecv(req_id, 0, ANY_SOURCE, ANY_TAG))
+        assert (ha is None) == (hb is None)
+        if ha is not None:
+            assert (ha.src, ha.seq) == (hb.src, hb.seq)
+
+
+# ---------------------------------------------------------------------------
+# MCAParams round trips
+# ---------------------------------------------------------------------------
+
+_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(st.dictionaries(_keys, st.integers(-10_000, 10_000), max_size=8))
+def test_params_int_roundtrip(data):
+    params = MCAParams(data)
+    clone = MCAParams.from_dict(params.to_dict())
+    for key, value in data.items():
+        assert clone.get_int(key) == value
+
+
+@given(st.dictionaries(_keys, st.booleans(), max_size=8))
+def test_params_bool_roundtrip(data):
+    params = MCAParams(data)
+    for key, value in data.items():
+        assert params.get_bool(key) is value
+
+
+# ---------------------------------------------------------------------------
+# VFS paths
+# ---------------------------------------------------------------------------
+
+_segments = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="-_"),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(_segments)
+def test_path_normalize_idempotent(segments):
+    path = "/" + "/".join(segments)
+    once = vpath.normalize(path)
+    assert vpath.normalize(once) == once
+
+
+@given(_segments)
+def test_path_join_split_roundtrip(segments):
+    path = vpath.join("/", *segments)
+    head, tail = vpath.split(path)
+    assert vpath.join(head, tail) == path
+    assert tail == segments[-1]
+
+
+@given(_segments, _segments)
+def test_path_is_under_prefix(prefix_segments, suffix_segments):
+    prefix = vpath.join("/", *prefix_segments)
+    full = vpath.join(prefix, *suffix_segments)
+    assert vpath.is_under(full, prefix)
+    assert vpath.is_under(full, "/")

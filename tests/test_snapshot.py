@@ -1,0 +1,117 @@
+"""Unit tests for snapshot references and metadata (paper section 4)."""
+
+import pytest
+
+from repro.snapshot import (
+    GlobalSnapshotMeta,
+    GlobalSnapshotRef,
+    LocalSnapshotMeta,
+    LocalSnapshotRef,
+    global_snapshot_dirname,
+    read_global_meta,
+    read_local_meta,
+    write_global_meta,
+    write_local_meta,
+)
+from repro.util.errors import SnapshotError
+from repro.vfs.fsbase import FS
+from tests.conftest import run_gen
+
+
+def _local_meta(**overrides) -> LocalSnapshotMeta:
+    base = dict(
+        rank=3,
+        jobid=1,
+        crs_component="simcr",
+        origin_node="node02",
+        os_tag="linux-x86_64",
+        interval=2,
+        sim_time=1.25,
+    )
+    base.update(overrides)
+    return LocalSnapshotMeta(**base)
+
+
+class TestLocalMeta:
+    def test_json_roundtrip(self):
+        meta = _local_meta(app_params={"opt": "1"}, files=["image.pkl"])
+        clone = LocalSnapshotMeta.from_json(meta.to_json())
+        assert clone == meta
+
+    def test_bad_json_raises(self):
+        with pytest.raises(SnapshotError):
+            LocalSnapshotMeta.from_json(b"not json")
+        with pytest.raises(SnapshotError):
+            LocalSnapshotMeta.from_json(b'{"rank": 1}')
+
+    def test_ref_paths(self):
+        ref = LocalSnapshotRef(fs_name="local:node00", path="/ckpt/r0")
+        assert ref.meta_path == "/ckpt/r0/metadata.json"
+        assert ref.image_path == "/ckpt/r0/image.pkl"
+
+
+class TestGlobalMeta:
+    def test_json_roundtrip_with_int_rank_keys(self):
+        meta = GlobalSnapshotMeta(
+            jobid=4,
+            interval=1,
+            n_procs=2,
+            sim_time=0.5,
+            app_name="jacobi",
+            app_args={"iters": 10},
+            mca_params={"crs": "simcr"},
+            locals={
+                0: {"path": "/s/rank0", "node": "node00", "crs": "simcr",
+                    "os_tag": "linux-x86_64", "portable": True, "last_rank": 0},
+                1: {"path": "/s/rank1", "node": "node01", "crs": "simcr",
+                    "os_tag": "linux-x86_64", "portable": True, "last_rank": 1},
+            },
+        )
+        clone = GlobalSnapshotMeta.from_json(meta.to_json())
+        assert clone == meta
+        assert set(clone.locals) == {0, 1}  # keys back to ints
+
+    def test_dirname_has_job_and_interval(self):
+        assert global_snapshot_dirname(7, 3) == "ompi_global_snapshot_7.3"
+
+    def test_ref_local_dirs(self):
+        ref = GlobalSnapshotRef("/snapshots/g")
+        assert ref.local_dir(2) == "/snapshots/g/rank2"
+        assert ref.meta_path == "/snapshots/g/metadata.json"
+
+
+class TestTimedIO:
+    def test_local_meta_fs_roundtrip(self, kernel):
+        fs = FS(kernel, "t")
+        ref = LocalSnapshotRef(fs_name="t", path="/snap")
+        meta = _local_meta()
+
+        def main():
+            yield from write_local_meta(fs, ref, meta)
+            loaded = yield from read_local_meta(fs, ref)
+            return loaded
+
+        assert run_gen(kernel, main()) == meta
+
+    def test_global_meta_fs_roundtrip(self, kernel):
+        fs = FS(kernel, "t")
+        ref = GlobalSnapshotRef("/snapshots/g")
+        meta = GlobalSnapshotMeta(
+            jobid=1, interval=1, n_procs=1, sim_time=0.0, app_name="ring"
+        )
+
+        def main():
+            yield from write_global_meta(fs, ref, meta)
+            loaded = yield from read_global_meta(fs, ref)
+            return loaded
+
+        assert run_gen(kernel, main()) == meta
+
+    def test_read_missing_global_snapshot(self, kernel):
+        fs = FS(kernel, "t")
+
+        def main():
+            yield from read_global_meta(fs, GlobalSnapshotRef("/nope"))
+
+        with pytest.raises(SnapshotError):
+            run_gen(kernel, main())

@@ -1,0 +1,138 @@
+"""Unit tests for repro.util: ids, seq, errors."""
+
+import pytest
+
+from repro.util.errors import (
+    CheckpointError,
+    ComponentNotFoundError,
+    DeadlockError,
+    NotCheckpointableError,
+    ReproError,
+)
+from repro.util.ids import (
+    DAEMON_JOBID,
+    VPID_WILDCARD,
+    ProcessName,
+    app_name,
+    daemon_name,
+    hnp_name,
+)
+from repro.util.seq import SeqCounter, SeqWindow
+
+
+class TestProcessName:
+    def test_hnp_identity(self):
+        name = hnp_name()
+        assert name.is_hnp
+        assert name.is_daemon
+        assert name.jobid == DAEMON_JOBID
+
+    def test_daemon_names_start_at_vpid_one(self):
+        assert daemon_name(0).vpid == 1
+        assert daemon_name(3).vpid == 4
+        assert not daemon_name(0).is_hnp
+        assert daemon_name(0).is_daemon
+
+    def test_daemon_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            daemon_name(-1)
+
+    def test_app_names(self):
+        name = app_name(2, 5)
+        assert name.jobid == 2 and name.vpid == 5
+        assert not name.is_daemon
+
+    def test_app_name_validation(self):
+        with pytest.raises(ValueError):
+            app_name(0, 1)
+        with pytest.raises(ValueError):
+            app_name(1, -1)
+
+    def test_ordering_and_hash(self):
+        a, b = ProcessName(1, 0), ProcessName(1, 1)
+        assert a < b
+        assert len({a, b, ProcessName(1, 0)}) == 2
+
+    def test_wildcard_matching(self):
+        wild = ProcessName(3, VPID_WILDCARD)
+        assert wild.matches(ProcessName(3, 7))
+        assert ProcessName(3, 7).matches(wild)
+        assert not wild.matches(ProcessName(4, 7))
+        assert not ProcessName(3, 1).matches(ProcessName(3, 2))
+
+    def test_str_format(self):
+        assert str(ProcessName(1, 2)) == "[1,2]"
+
+
+class TestSeqCounter:
+    def test_monotonic(self):
+        counter = SeqCounter()
+        assert [counter.next() for _ in range(3)] == [0, 1, 2]
+        assert counter.peek() == 3
+
+    def test_snapshot_restore(self):
+        counter = SeqCounter()
+        for _ in range(5):
+            counter.next()
+        restored = SeqCounter.restore(counter.snapshot())
+        assert restored.next() == 5
+
+
+class TestSeqWindow:
+    def test_in_order_delivery(self):
+        window = SeqWindow()
+        for seq in range(4):
+            window.deliver(seq)
+        assert window.contiguous == 4
+        assert window.total_delivered == 4
+
+    def test_out_of_order_delivery(self):
+        window = SeqWindow()
+        window.deliver(2)
+        window.deliver(0)
+        assert window.contiguous == 1
+        assert window.total_delivered == 2
+        assert window.missing_below(3) == [1]
+        window.deliver(1)
+        assert window.contiguous == 3
+
+    def test_duplicate_rejected(self):
+        window = SeqWindow()
+        window.deliver(0)
+        with pytest.raises(ValueError):
+            window.deliver(0)
+        window.deliver(5)
+        with pytest.raises(ValueError):
+            window.deliver(5)
+
+    def test_snapshot_restore_roundtrip(self):
+        window = SeqWindow()
+        for seq in (0, 1, 5, 7):
+            window.deliver(seq)
+        restored = SeqWindow.restore(window.snapshot())
+        assert restored.contiguous == window.contiguous
+        assert restored.total_delivered == window.total_delivered
+        restored.deliver(2)
+        assert restored.contiguous == 3
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(CheckpointError, ReproError)
+        assert issubclass(NotCheckpointableError, CheckpointError)
+        assert issubclass(DeadlockError, ReproError)
+
+    def test_not_checkpointable_carries_names(self):
+        err = NotCheckpointableError(["[1,0]", "[1,2]"])
+        assert err.names == ["[1,0]", "[1,2]"]
+        assert "[1,2]" in str(err)
+
+    def test_component_not_found_fields(self):
+        err = ComponentNotFoundError("crs", "bogus")
+        assert err.framework == "crs"
+        assert err.component == "bogus"
+        assert "bogus" in str(err)
+
+    def test_deadlock_lists_threads(self):
+        err = DeadlockError(["a", "b"])
+        assert err.blocked == ["a", "b"]
