@@ -5,26 +5,43 @@ fans the request to local coordinators and aggregates every local
 snapshot through FILEM at the head node.  Measured: simulated time from
 the tool's request to the global-snapshot-reference reply, versus np.
 Expected shape: grows with np (aggregation through one coordinator).
+
+The largest configuration also runs with the span recorder on and
+reports where the time went — bookmark exchange, drain, quiesce, CRS
+write, FILEM transfer — straight from the trace export.
 """
 
-from repro.bench.harness import Row, format_table, run_and_checkpoint
+from repro.bench.harness import (
+    PHASE_COLUMNS,
+    Row,
+    format_table,
+    phase_table_rows,
+    run_and_checkpoint,
+)
+from repro.obs.report import filter_spans
 
 APP_ARGS = {"loops": 80, "compute_s": 0.01}
 
 
-def measure(np_procs: int, n_nodes: int = 8) -> float:
+def measure(np_procs: int, n_nodes: int = 8, trace: bool = False) -> dict:
     universe, m = run_and_checkpoint(
-        "churn", np_procs, APP_ARGS, at=0.1, n_nodes=n_nodes
+        "churn", np_procs, APP_ARGS, at=0.1, n_nodes=n_nodes, trace=trace
     )
     assert m["ok"], m["error"]
-    return m["sim_latency_s"]
+    return m
 
 
 def test_e3_checkpoint_latency_vs_np(benchmark):
     def run():
-        return {np_procs: measure(np_procs) for np_procs in (2, 4, 8, 16, 32)}
+        # Trace only the largest run: the per-phase table explains the
+        # top of the scaling curve.
+        return {
+            np_procs: measure(np_procs, trace=(np_procs == 32))
+            for np_procs in (2, 4, 8, 16, 32)
+        }
 
-    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    latencies = {np_procs: m["sim_latency_s"] for np_procs, m in results.items()}
     rows = [
         Row(f"np={np_procs}", {"ckpt latency (sim ms)": latency * 1e3})
         for np_procs, latency in latencies.items()
@@ -37,7 +54,22 @@ def test_e3_checkpoint_latency_vs_np(benchmark):
             rows,
         )
     )
+    trace = results[32]["trace"]
+    print()
+    print(
+        format_table(
+            "E3b: per-phase breakdown at np=32",
+            PHASE_COLUMNS,
+            phase_table_rows(trace),
+        )
+    )
     assert latencies[32] > latencies[2]
     # Aggregation through one coordinator: latency keeps growing as the
     # process count doubles.
     assert latencies[32] > 1.5 * latencies[4]
+    # The trace accounts for every rank: one bookmark exchange and one
+    # CRS image write per process, one fan-out at the coordinator.
+    assert len(filter_spans(trace, name="crcp.bookmark")) == 32
+    assert len(filter_spans(trace, name="crs.write")) == 32
+    assert len(filter_spans(trace, name="snapc.fanout")) == 1
+    assert len(filter_spans(trace, name="snapc.checkpoint")) == 1

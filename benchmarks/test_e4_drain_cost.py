@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.apps.registry import _APPS
 from repro.bench.harness import Row, format_table, fresh_universe
+from repro.obs.report import summarize
 from repro.tools.api import ompi_checkpoint, ompi_run
 from repro.util.ids import ProcessName
 
@@ -45,7 +46,7 @@ _APPS["bench_burst"] = _burst_app
 
 
 def measure(burst: int) -> dict:
-    universe = fresh_universe(2)
+    universe = fresh_universe(2, {"obs_trace_enabled": "1"})
     job = ompi_run(universe, "bench_burst", 2, args={"burst": burst}, wait=False)
     handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
     finish: dict = {}
@@ -66,9 +67,14 @@ def measure(burst: int) -> dict:
     reply = handle.result()
     assert reply["ok"], reply.get("error")
     assert job.state.value == "finished"
+    trace = universe.kernel.tracer.to_dict()
+    phases = summarize(trace)
     return {
         "sim_latency_s": finish["t"] - 0.1,
         "drained": finish.get("drained", 0),
+        "bookmark_s": phases.get("crcp.bookmark", {}).get("sim_s", 0.0),
+        "drain_s": phases.get("crcp.drain", {}).get("sim_s", 0.0),
+        "counted": trace["counters"].get("crcp.drained_msgs", 0),
     }
 
 
@@ -83,6 +89,8 @@ def test_e4_drain_cost_vs_inflight_burst(benchmark):
             {
                 "ckpt latency (sim ms)": r["sim_latency_s"] * 1e3,
                 "drained msgs": r["drained"],
+                "bookmark (sim ms)": r["bookmark_s"] * 1e3,
+                "drain (sim ms)": r["drain_s"] * 1e3,
             },
         )
         for burst, r in results.items()
@@ -91,10 +99,20 @@ def test_e4_drain_cost_vs_inflight_burst(benchmark):
     print(
         format_table(
             "E4: coordination drain cost vs in-flight burst",
-            ["ckpt latency (sim ms)", "drained msgs"],
+            [
+                "ckpt latency (sim ms)",
+                "drained msgs",
+                "bookmark (sim ms)",
+                "drain (sim ms)",
+            ],
             rows,
         )
     )
     assert results[128]["drained"] > results[8]["drained"] > 0
     assert results[0]["drained"] == 0
     assert results[128]["sim_latency_s"] > results[0]["sim_latency_s"]
+    # The trace tells the same story: the drain phase is where the
+    # latency goes, and its counter agrees with the PML statistics.
+    assert results[128]["drain_s"] > results[0]["drain_s"]
+    for r in results.values():
+        assert r["counted"] == r["drained"]

@@ -9,11 +9,12 @@ session costs, so it grows faster.
 """
 
 from repro.bench.harness import Row, format_table, run_and_checkpoint
+from repro.obs.report import filter_spans
 
 SIZES = [1 << 16, 1 << 20, 4 << 20]
 
 
-def measure(filem: str, state_bytes: int) -> float:
+def measure(filem: str, state_bytes: int) -> dict:
     universe, m = run_and_checkpoint(
         "churn",
         4,
@@ -21,9 +22,16 @@ def measure(filem: str, state_bytes: int) -> float:
         at=0.1,
         n_nodes=4,
         params={"filem": filem},
+        trace=True,
     )
     assert m["ok"], m["error"]
-    return m["sim_latency_s"]
+    transfers = filter_spans(m["trace"], name="filem.transfer", op="gather")
+    return {
+        "sim_latency_s": m["sim_latency_s"],
+        "transfers": len(transfers),
+        "moved_bytes": sum(s["attrs"].get("bytes", 0) for s in transfers),
+        "transfer_s": sum(s["dur"] for s in transfers),
+    }
 
 
 def test_e5_gather_cost_vs_image_size(benchmark):
@@ -40,9 +48,12 @@ def test_e5_gather_cost_vs_image_size(benchmark):
             Row(
                 f"{size >> 10} KiB/rank",
                 {
-                    "rsh (sim ms)": results["rsh"][size] * 1e3,
-                    "shared (sim ms)": results["shared"][size] * 1e3,
-                    "rsh/shared": results["rsh"][size] / results["shared"][size],
+                    "rsh (sim ms)": results["rsh"][size]["sim_latency_s"] * 1e3,
+                    "shared (sim ms)": results["shared"][size]["sim_latency_s"]
+                    * 1e3,
+                    "rsh/shared": results["rsh"][size]["sim_latency_s"]
+                    / results["shared"][size]["sim_latency_s"],
+                    "rsh copy (sim ms)": results["rsh"][size]["transfer_s"] * 1e3,
                 },
             )
         )
@@ -50,17 +61,35 @@ def test_e5_gather_cost_vs_image_size(benchmark):
     print(
         format_table(
             "E5: checkpoint latency vs image size, FILEM rsh vs shared",
-            ["rsh (sim ms)", "shared (sim ms)", "rsh/shared"],
+            ["rsh (sim ms)", "shared (sim ms)", "rsh/shared", "rsh copy (sim ms)"],
             rows,
         )
     )
     # Both grow with size; rsh costs more at every size and its
     # advantage gap widens with bytes moved.
     for filem in ("rsh", "shared"):
-        assert results[filem][SIZES[-1]] > results[filem][SIZES[0]]
+        assert (
+            results[filem][SIZES[-1]]["sim_latency_s"]
+            > results[filem][SIZES[0]]["sim_latency_s"]
+        )
     for size in SIZES:
-        assert results["rsh"][size] > results["shared"][size]
+        assert (
+            results["rsh"][size]["sim_latency_s"]
+            > results["shared"][size]["sim_latency_s"]
+        )
     assert (
-        results["rsh"][SIZES[-1]] - results["shared"][SIZES[-1]]
-        > results["rsh"][SIZES[0]] - results["shared"][SIZES[0]]
+        results["rsh"][SIZES[-1]]["sim_latency_s"]
+        - results["shared"][SIZES[-1]]["sim_latency_s"]
+        > results["rsh"][SIZES[0]]["sim_latency_s"]
+        - results["shared"][SIZES[0]]["sim_latency_s"]
+    )
+    # The trace exposes the mechanism: rsh remote-copies one snapshot
+    # tree per node and its per-copy bytes grow with image size;
+    # shared never issues a remote transfer at all.
+    for size in SIZES:
+        assert results["rsh"][size]["transfers"] > 0
+        assert results["shared"][size]["transfers"] == 0
+    assert (
+        results["rsh"][SIZES[-1]]["moved_bytes"]
+        > results["rsh"][SIZES[0]]["moved_bytes"]
     )

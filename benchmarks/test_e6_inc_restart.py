@@ -4,6 +4,10 @@ end-to-end time.
 * The INC stack traversal for a checkpoint must follow Figure 2's
   order exactly: app/ompi/orte/opal enter top-down, exit bottom-up,
   once for CHECKPOINT and once for CONTINUE, with the CRS in between.
+* The span recorder turns the same traversal into per-layer *costs*:
+  each layer's ``inc.<layer>`` span is inclusive of the layers below
+  it, so the difference between adjacent layers is that layer's own
+  contribution (CRCP coordination for ompi, CRS for opal, ...).
 * Restart end-to-end: simulated time from the ompi-restart request to
   the restarted job reaching RUNNING, versus image size (FILEM
   broadcast is the size-dependent part).
@@ -40,6 +44,37 @@ def trace_inc_sequence() -> list:
     job = ompi_run(universe, "bench_inc_trace", 2)
     assert job.state.value == "finished"
     return traces[0]
+
+
+def traced_inc_costs() -> dict:
+    """Run one traced checkpoint; return rank 0's CHECKPOINT-descent
+    ``inc.*`` spans keyed by layer name."""
+    universe = fresh_universe(2, {"obs_trace_enabled": "1"})
+    job = ompi_run(
+        universe,
+        "churn",
+        2,
+        args={"loops": 60, "compute_s": 0.01, "state_bytes": 1 << 20},
+        wait=False,
+    )
+    handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+    universe.run_job_to_completion(job)
+    assert handle.result()["ok"], handle.result().get("error")
+    trace = universe.kernel.tracer.to_dict()
+    owner = sorted(
+        {
+            s["attrs"]["owner"]
+            for s in trace["spans"]
+            if s["cat"] == "inc" and s["attrs"].get("state") == "CHECKPOINT"
+        }
+    )[0]
+    return {
+        s["name"].removeprefix("inc."): s
+        for s in trace["spans"]
+        if s["cat"] == "inc"
+        and s["attrs"].get("state") == "CHECKPOINT"
+        and s["attrs"]["owner"] == owner
+    }
 
 
 def measure_restart(state_bytes: int) -> float:
@@ -93,6 +128,40 @@ def test_e6_inc_figure2_ordering(benchmark):
     rows = [Row(f"{layer}:{step}", {"order": i}) for i, (layer, step) in enumerate(ckpt)]
     print()
     print(format_table("E6a: Figure-2 INC traversal (CHECKPOINT)", ["order"], rows))
+
+
+def test_e6_inc_per_layer_cost(benchmark):
+    spans = benchmark.pedantic(traced_inc_costs, rounds=1, iterations=1)
+    layers = ["ompi", "orte", "opal"]
+    assert set(layers) <= set(spans), spans.keys()
+    rows = []
+    for i, layer in enumerate(layers):
+        inclusive = spans[layer]["dur"]
+        below = spans[layers[i + 1]]["dur"] if i + 1 < len(layers) else 0.0
+        rows.append(
+            Row(
+                f"inc.{layer}",
+                {
+                    "inclusive (sim ms)": inclusive * 1e3,
+                    "own cost (sim ms)": (inclusive - below) * 1e3,
+                },
+            )
+        )
+    print()
+    print(
+        format_table(
+            "E6c: per-layer INC cost (CHECKPOINT descent, rank 0)",
+            ["inclusive (sim ms)", "own cost (sim ms)"],
+            rows,
+        )
+    )
+    # Inclusive timing: every layer's span covers the layers below it.
+    assert spans["ompi"]["dur"] >= spans["orte"]["dur"] >= spans["opal"]["dur"]
+    assert spans["ompi"]["t0"] <= spans["orte"]["t0"] <= spans["opal"]["t0"]
+    assert spans["ompi"]["t1"] >= spans["orte"]["t1"] >= spans["opal"]["t1"]
+    # The OMPI layer's own cost is the CRCP coordination — with traffic
+    # in flight it dominates the descent.
+    assert spans["ompi"]["dur"] > 0.0
 
 
 def test_e6_restart_time_vs_image_size(benchmark):

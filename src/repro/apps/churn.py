@@ -55,7 +55,7 @@ def churn_main(ctx):
             for _ in range(msgs_per_loop):
                 send_reqs.append((yield ctx.isend(payload, right, TAG_CHURN)))
             for _ in range(msgs_per_loop):
-                result = yield ctx.wait((yield ctx.irecv(left, TAG_CHURN)))
+                yield ctx.wait((yield ctx.irecv(left, TAG_CHURN)))
                 received += 1
             for req in send_reqs:
                 yield ctx.wait(req)

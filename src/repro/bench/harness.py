@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.mca.params import MCAParams
+from repro.obs.report import phase_rows
 from repro.orte.universe import Universe
 from repro.simenv.cluster import Cluster, ClusterSpec
 from repro.simenv.kernel import WaitEvent
@@ -63,6 +64,20 @@ def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+def phase_table_rows(trace: dict, phases: list[str] | None = None) -> list[Row]:
+    """Per-phase breakdown of a trace export as table :class:`Row` s."""
+    return [
+        Row(
+            phase,
+            {"count": count, "sim (ms)": sim_s * 1e3, "wall (ms)": wall_s * 1e3},
+        )
+        for phase, count, sim_s, wall_s in phase_rows(trace, phases)
+    ]
+
+
+PHASE_COLUMNS = ["count", "sim (ms)", "wall (ms)"]
+
+
 def run_and_checkpoint(
     app: str,
     np: int,
@@ -70,14 +85,20 @@ def run_and_checkpoint(
     at: float,
     n_nodes: int = 4,
     params: dict | None = None,
+    trace: bool = False,
     **ckpt_options,
 ) -> tuple[Universe, dict]:
     """Launch *app*, checkpoint it at sim-time *at*, run to completion.
 
     Returns ``(universe, measurement)`` where the measurement carries
     the *simulated* checkpoint latency — request departure to
-    global-snapshot-reference reply, the window Figure 1 spans.
+    global-snapshot-reference reply, the window Figure 1 spans.  With
+    ``trace=True`` the universe runs with the span recorder on and the
+    measurement gains a ``"trace"`` key holding the JSON export.
     """
+    if trace:
+        params = dict(params or {})
+        params.setdefault("obs_trace_enabled", "1")
     universe = fresh_universe(n_nodes, params)
     job = ompi_run(universe, app, np, args=app_args, wait=False)
     handle = ompi_checkpoint(universe, job.jobid, at=at, wait=False, **ckpt_options)
@@ -97,10 +118,13 @@ def run_and_checkpoint(
     universe.kernel.spawn(watch(), name="bench-watch", daemon=True)
     universe.run_job_to_completion(job)
     reply = handle.result()
-    return universe, {
+    measurement = {
         "ok": reply.get("ok", False),
         "error": reply.get("error"),
         "snapshot": reply.get("snapshot"),
         "sim_latency_s": finish.get("t", float("nan")) - at,
         "job_state": job.state.value,
     }
+    if trace:
+        measurement["trace"] = universe.kernel.tracer.to_dict()
+    return universe, measurement

@@ -48,6 +48,13 @@ class INCStack:
         #: Figure-2 reproduction read this.
         self.trace: list[tuple[str, str, FTState]] = []
         self.record_trace = False
+        #: optional :class:`~repro.obs.trace.TraceRecorder`; when set
+        #: (and enabled) each layer's traversal opens an ``inc.<layer>``
+        #: span — the paper's Figure 2 with durations attached
+        self.tracer = None
+        #: label identifying the owning process in span attributes
+        self.owner = ""
+        self._invocations = 0
 
     def register(self, name: str, inc: INCFunc) -> Callable[[FTState], SimGen]:
         """Push *inc* on the stack; returns the previous top as a
@@ -67,10 +74,26 @@ class INCStack:
             name, inc = self._entries[depth - 1]
             if self.record_trace:
                 self.trace.append((name, "enter", state))
+            span = (
+                self.tracer.begin(
+                    f"inc.{name}",
+                    cat="inc",
+                    state=state.name,
+                    owner=self.owner,
+                    depth=depth,
+                    seq=self._invocations,
+                )
+                if self.tracer is not None
+                else None
+            )
             below = self._as_callable(depth - 1)
-            result = inc(state, below)
-            if inspect.isgenerator(result):
-                result = yield from result
+            try:
+                result = inc(state, below)
+                if inspect.isgenerator(result):
+                    result = yield from result
+            finally:
+                if span is not None:
+                    span.end()
             if self.record_trace:
                 self.trace.append((name, "exit", state))
             return result
@@ -84,6 +107,7 @@ class INCStack:
 
     def invoke(self, state: FTState) -> SimGen:
         """Run the whole stack top-down for *state*."""
+        self._invocations += 1
         top = self._as_callable(len(self._entries))
         result = yield from top(state)
         return result

@@ -1,0 +1,34 @@
+"""Structured tracing and metrics for the C/R stack.
+
+The paper's evaluation (§7) attributes checkpoint cost to distinct
+phases — bookmark exchange, channel drain, CRS image write, FILEM
+gather.  This package is the measurement substrate that makes those
+numbers first-class: a :class:`~repro.obs.trace.TraceRecorder` hangs
+off the DES kernel, every framework opens *spans* around its phases,
+and the report helpers aggregate the span stream into per-phase
+breakdown tables and a JSON export.
+
+The recorder is disabled by default and its disabled path allocates
+nothing, so the failure-free hot path is unaffected (the E1 NetPIPE
+overhead criterion).
+"""
+
+from repro.obs.report import (
+    filter_spans,
+    load_json,
+    phase_rows,
+    render_phase_report,
+    summarize,
+)
+from repro.obs.trace import NULL_SPAN, Span, TraceRecorder
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "TraceRecorder",
+    "filter_spans",
+    "load_json",
+    "phase_rows",
+    "render_phase_report",
+    "summarize",
+]

@@ -1,0 +1,101 @@
+"""Aggregation and rendering of trace exports.
+
+All helpers operate on the JSON-shaped dict produced by
+:meth:`~repro.obs.trace.TraceRecorder.to_dict` (or loaded back from a
+file), so post-mortem analysis of a written trace and live analysis of
+a just-finished run share one code path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: the canonical per-phase breakdown order used by the benchmarks
+DEFAULT_PHASES = [
+    "crcp.bookmark",
+    "crcp.drain",
+    "crcp.quiesce",
+    "crcp.round",
+    "crs.serialize",
+    "crs.write",
+    "filem.transfer",
+    "snapc.fanout",
+    "snapc.meta",
+]
+
+
+def load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def filter_spans(
+    trace: dict, name: str | None = None, cat: str | None = None, **attrs: Any
+) -> list[dict]:
+    """Spans matching a name, a category, and/or attribute values."""
+    out = []
+    for span in trace.get("spans", []):
+        if name is not None and span["name"] != name:
+            continue
+        if cat is not None and span["cat"] != cat:
+            continue
+        span_attrs = span.get("attrs", {})
+        if any(span_attrs.get(k) != v for k, v in attrs.items()):
+            continue
+        out.append(span)
+    return out
+
+
+def summarize(trace: dict) -> dict[str, dict]:
+    """Aggregate spans by name: ``{name: {count, sim_s, wall_s}}``."""
+    out: dict[str, dict] = {}
+    for span in trace.get("spans", []):
+        entry = out.setdefault(
+            span["name"], {"count": 0, "sim_s": 0.0, "wall_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["sim_s"] += span["dur"]
+        entry["wall_s"] += span["wall"]
+    return out
+
+
+def phase_rows(
+    trace: dict, phases: list[str] | None = None
+) -> list[tuple[str, int, float, float]]:
+    """``(phase, count, sim_s, wall_s)`` rows for the requested phases.
+
+    Phases absent from the trace appear with zero counts so tables stay
+    shape-stable across configurations (e.g. ``shared`` FILEM moving no
+    bytes).
+    """
+    summary = summarize(trace)
+    rows = []
+    for phase in phases or DEFAULT_PHASES:
+        entry = summary.get(phase, {"count": 0, "sim_s": 0.0, "wall_s": 0.0})
+        rows.append((phase, entry["count"], entry["sim_s"], entry["wall_s"]))
+    return rows
+
+
+def render_phase_report(
+    trace: dict, title: str = "per-phase breakdown", phases: list[str] | None = None
+) -> str:
+    """Monospace per-phase table, the benchmarks' standard block."""
+    rows = phase_rows(trace, phases)
+    name_w = max([len("phase")] + [len(name) for name, *_ in rows])
+    lines = [f"== {title} =="]
+    header = (
+        "phase".ljust(name_w) + "  " + "count".rjust(6)
+        + "  " + "sim (ms)".rjust(10) + "  " + "wall (ms)".rjust(10)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, count, sim_s, wall_s in rows:
+        lines.append(
+            name.ljust(name_w)
+            + f"  {count:>6d}  {sim_s * 1e3:>10.3f}  {wall_s * 1e3:>10.3f}"
+        )
+    counters = trace.get("counters") or {}
+    for key in sorted(counters):
+        lines.append(f"counter {key} = {counters[key]:g}")
+    return "\n".join(lines)

@@ -20,6 +20,14 @@ some process's image.  ``resume`` lifts the gate on CONTINUE/RESTART.
 
 Bookmarks travel over the OOB control plane (RML), not the MPI data
 path, so the exchange itself never perturbs the counts.
+
+**Epochs.** Coordination attempts are numbered by a local *epoch*
+counter that every rank advances in lockstep (one increment per
+global checkpoint attempt).  Bookmarks and abort poison both carry the
+sender's epoch, so control messages that straddle an aborted attempt —
+a peer's bookmark that arrived after we gave up, or our own poison that
+nobody consumed — are recognized as stale and discarded instead of
+corrupting the next interval's exchange.
 """
 
 from __future__ import annotations
@@ -52,6 +60,19 @@ class CoordCRCP(CRCPComponent):
         self.aborted = False
         self._gate_event: SimEvent | None = None
         self._delivery_event: SimEvent | None = None
+        #: coordination attempt number; advances once per attempt on
+        #: every rank, tagging bookmarks/poison so stragglers from an
+        #: aborted attempt cannot pollute the next one
+        self._epoch = 0
+        #: True between ``pml.enter_drain()`` and ``pml.leave_drain()``
+        #: so the abort path only undoes a drain it actually entered
+        self._draining = False
+        #: current coordination phase, ``None`` when idle — one of
+        #: ``"bookmark"``, ``"drain"``, ``"quiesce"``.  Observability
+        #: surface for tests and the phase-abort fault injector.
+        self.phase: str | None = None
+        self._phase_span = None
+        self._coord_span = None
         #: statistics for the drain-cost experiment (E4)
         self.stats = {"coordinations": 0, "drained_msgs": 0, "aborts": 0}
 
@@ -82,61 +103,111 @@ class CoordCRCP(CRCPComponent):
             if not event.fired:
                 event.fire(None)
 
+    # -- phase bookkeeping ---------------------------------------------------------
+
+    def _enter_phase(self, name: str) -> None:
+        tracer = self.ompi.kernel.tracer
+        if self._phase_span is not None:
+            self._phase_span.end()
+        self.phase = name
+        self._phase_span = tracer.begin(
+            f"crcp.{name}",
+            cat="crcp",
+            rank=self.ompi.proc.name.vpid,
+            epoch=self._epoch,
+        )
+
+    def _leave_phases(self, aborted: bool = False) -> None:
+        if self._phase_span is not None:
+            self._phase_span.end(aborted=aborted)
+            self._phase_span = None
+        if self._coord_span is not None:
+            self._coord_span.end(aborted=aborted)
+            self._coord_span = None
+        self.phase = None
+
     # -- coordination --------------------------------------------------------------
 
     def coordinate(self) -> SimGen:
         ompi = self.ompi
         self.stats["coordinations"] += 1
+        self._epoch += 1
         self.gate_active = True
         self.aborted = False
         comm = ompi.comm_world
         me = comm.rank
         peers = comm.peer_ranks()
-        if peers:
-            rml = ompi.rml
-            jobid = ompi.proc.name.jobid
-            for peer in peers:
-                world = comm.world_rank(peer)
-                yield from rml.send(
-                    ProcessName(jobid, world),
-                    TAG_CRCP_BOOKMARK,
-                    {
-                        "from_world": comm.world_rank(me),
-                        "sent_to_you": self.sent_count.get(world, 0),
-                    },
-                )
-            expected: dict[int, int] = {}
-            while len(expected) < len(peers):
-                _, payload = yield from rml.recv(TAG_CRCP_BOOKMARK)
-                if self.aborted:
-                    self._abort_cleanup()
-                # Poison wakeups from a stale abort carry no bookmark.
-                if "from_world" in payload:
+        self._coord_span = ompi.kernel.tracer.begin(
+            "crcp.coordinate",
+            cat="crcp",
+            rank=ompi.proc.name.vpid,
+            proto=self.name,
+            epoch=self._epoch,
+        )
+        try:
+            if peers:
+                rml = ompi.rml
+                jobid = ompi.proc.name.jobid
+                self._enter_phase("bookmark")
+                for peer in peers:
+                    world = comm.world_rank(peer)
+                    yield from rml.send(
+                        ProcessName(jobid, world),
+                        TAG_CRCP_BOOKMARK,
+                        {
+                            "from_world": comm.world_rank(me),
+                            "sent_to_you": self.sent_count.get(world, 0),
+                            "epoch": self._epoch,
+                        },
+                    )
+                expected: dict[int, int] = {}
+                while len(expected) < len(peers):
+                    _, payload = yield from rml.recv(TAG_CRCP_BOOKMARK)
+                    if self.aborted:
+                        self._abort_cleanup()
+                    if payload.get("abort"):
+                        # Stale poison from a previously aborted attempt;
+                        # this attempt was not asked to stop.
+                        continue
+                    if "from_world" not in payload:
+                        continue
+                    if payload.get("epoch", self._epoch) < self._epoch:
+                        # A peer's bookmark from an aborted attempt that
+                        # arrived after we gave up on it.  Its cumulative
+                        # count is outdated — acting on it would end the
+                        # drain early and lose messages from the image.
+                        continue
                     expected[payload["from_world"]] = payload["sent_to_you"]
 
-            # Drain until every peer's bookmark is met.
-            pml = ompi.pml_base
-            pml.enter_drain()
-            drained_at_start = sum(self.recvd_count.values())
-            while any(
-                self.recvd_count.get(world, 0) < count
-                for world, count in expected.items()
-            ):
-                if self._delivery_event is None:
-                    self._delivery_event = ompi.kernel.event("crcp-drain")
-                yield WaitEvent(self._delivery_event)
-                if self.aborted:
-                    self._abort_cleanup()
-            pml.leave_drain()
-            self.stats["drained_msgs"] += (
-                sum(self.recvd_count.values()) - drained_at_start
-            )
+                # Drain until every peer's bookmark is met.
+                pml = ompi.pml_base
+                self._enter_phase("drain")
+                pml.enter_drain()
+                self._draining = True
+                drained_at_start = sum(self.recvd_count.values())
+                while any(
+                    self.recvd_count.get(world, 0) < count
+                    for world, count in expected.items()
+                ):
+                    if self._delivery_event is None:
+                        self._delivery_event = ompi.kernel.event("crcp-drain")
+                    yield WaitEvent(self._delivery_event)
+                    if self.aborted:
+                        self._abort_cleanup()
+                pml.leave_drain()
+                self._draining = False
+                drained = sum(self.recvd_count.values()) - drained_at_start
+                self.stats["drained_msgs"] += drained
+                ompi.kernel.tracer.count("crcp.drained_msgs", drained)
 
-        # Our own in-flight sends must be fully on the wire — and by
-        # the symmetric argument, delivered — before the image is cut.
-        yield from ompi.pml_base.quiesce_sends()
-        if self.aborted:
-            self._abort_cleanup()
+            # Our own in-flight sends must be fully on the wire — and by
+            # the symmetric argument, delivered — before the image is cut.
+            self._enter_phase("quiesce")
+            yield from ompi.pml_base.quiesce_sends()
+            if self.aborted:
+                self._abort_cleanup()
+        finally:
+            self._leave_phases(aborted=self.aborted)
         log.debug("%s coordinated (drained)", ompi.proc.label)
         return None
 
@@ -144,15 +215,24 @@ class CoordCRCP(CRCPComponent):
         """Abandon an in-flight coordination (another process vetoed).
 
         Safe to call from outside the coordinating thread: flags the
-        abort, pokes both wait points, and lifts the gate so blocked
-        application sends resume.
+        abort and pokes both wait points (the bookmark collection loop
+        via a poison message, the drain loop via the delivery event).
+        The gate stays closed here — it is lifted by ``resume(False)``
+        when the coordinating thread runs ``_abort_cleanup`` and, on
+        the normal failure path, again by the roll-forward
+        INC(CONTINUE).
         """
         if not self.gate_active:
             return
         self.aborted = True
         self.stats["aborts"] += 1
-        # Poke the bookmark-collection loop with a poison message.
-        self.ompi.rml._queue(TAG_CRCP_BOOKMARK).put((None, {"abort": True}))
+        self.ompi.kernel.tracer.count("crcp.aborts")
+        # Poke the bookmark-collection loop with a poison message.  The
+        # epoch tag lets anyone who finds it later tell which attempt
+        # it belonged to.
+        self.ompi.rml._queue(TAG_CRCP_BOOKMARK).put(
+            (None, {"abort": True, "epoch": self._epoch})
+        )
         # Poke the drain loop.
         if self._delivery_event is not None:
             event, self._delivery_event = self._delivery_event, None
@@ -160,11 +240,38 @@ class CoordCRCP(CRCPComponent):
                 event.fire(None)
 
     def _abort_cleanup(self) -> None:
-        self.ompi.pml_base.leave_drain()
+        # Only undo a drain this attempt actually entered: an abort
+        # during bookmark collection never reached enter_drain, and an
+        # abort during quiesce already left it.
+        if self._draining:
+            self.ompi.pml_base.leave_drain()
+            self._draining = False
+        self._drop_stale_poison()
         self.resume(False)
         raise CheckpointError(
             f"{self.ompi.proc.label}: checkpoint coordination aborted"
         )
+
+    def _drop_stale_poison(self) -> None:
+        """Remove unconsumed abort poison from the bookmark mailbox.
+
+        If the coordinator was past the bookmark loop when ``abort()``
+        ran, the poison was never received and would otherwise leak
+        into the next checkpoint interval's exchange.  Real bookmarks
+        from peers are kept in order — the epoch check in the next
+        ``coordinate()`` decides their fate.
+        """
+        queue = self.ompi.rml._queue(TAG_CRCP_BOOKMARK)
+        kept = []
+        while True:
+            ok, item = queue.try_get()
+            if not ok:
+                break
+            _, payload = item
+            if not payload.get("abort"):
+                kept.append(item)
+        for item in kept:
+            queue.put(item)
 
     def resume(self, restarting: bool) -> None:
         self.gate_active = False
@@ -178,6 +285,9 @@ class CoordCRCP(CRCPComponent):
     def capture_image_state(self, crs_name: str):
         if self.gate_active is False:
             raise CheckpointError("CRCP image captured outside coordination")
+        log.debug(
+            "%s: bookmark state into %s image", self.ompi.proc.label, crs_name
+        )
         return {
             "sent": dict(self.sent_count),
             "recvd": dict(self.recvd_count),

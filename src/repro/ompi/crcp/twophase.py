@@ -47,6 +47,14 @@ class TwoPhaseCRCP(CRCPComponent):
         self.gate_active = False
         self.aborted = False
         self._gate_event: SimEvent | None = None
+        #: coordination attempt number (see coord.py on epoch tagging)
+        self._epoch = 0
+        #: current coordination phase, ``None`` when idle — one of
+        #: ``"quiesce"`` (local quiesce within a round) or ``"round"``
+        #: (reporting/aggregating).  Observability surface for tests.
+        self.phase: str | None = None
+        self._phase_span = None
+        self._coord_span = None
         self.stats = {"coordinations": 0, "rounds": 0, "aborts": 0}
 
     # -- hot-path hooks (identical surface to coord) ------------------------
@@ -75,9 +83,31 @@ class TwoPhaseCRCP(CRCPComponent):
     def _totals(self) -> tuple[int, int]:
         return sum(self.sent_count.values()), sum(self.recvd_count.values())
 
+    def _enter_phase(self, name: str) -> None:
+        tracer = self.ompi.kernel.tracer
+        if self._phase_span is not None:
+            self._phase_span.end()
+        self.phase = name
+        self._phase_span = tracer.begin(
+            f"crcp.{name}",
+            cat="crcp",
+            rank=self.ompi.proc.name.vpid,
+            epoch=self._epoch,
+        )
+
+    def _leave_phases(self, aborted: bool = False) -> None:
+        if self._phase_span is not None:
+            self._phase_span.end(aborted=aborted)
+            self._phase_span = None
+        if self._coord_span is not None:
+            self._coord_span.end(aborted=aborted)
+            self._coord_span = None
+        self.phase = None
+
     def coordinate(self) -> SimGen:
         ompi = self.ompi
         self.stats["coordinations"] += 1
+        self._epoch += 1
         self.gate_active = True
         self.aborted = False
         comm = ompi.comm_world
@@ -89,8 +119,17 @@ class TwoPhaseCRCP(CRCPComponent):
         jobid = ompi.proc.name.jobid
         root = ProcessName(jobid, comm.world_rank(0))
         i_am_root = comm.rank == 0
+        self._coord_span = ompi.kernel.tracer.begin(
+            "crcp.coordinate",
+            cat="crcp",
+            rank=ompi.proc.name.vpid,
+            proto=self.name,
+            epoch=self._epoch,
+        )
         # Flush stragglers from a previously aborted coordination so a
-        # stale report/verdict cannot pollute this one.
+        # stale report/verdict cannot pollute this one.  (In-flight
+        # stragglers that land *after* this flush are rejected by the
+        # epoch tag below.)
         for tag in (TAG_ROUND_REPORT, TAG_ROUND_VERDICT):
             while rml.try_recv(tag)[0]:
                 pass
@@ -101,32 +140,48 @@ class TwoPhaseCRCP(CRCPComponent):
                 self.stats["rounds"] += 1
                 # Local phase: let in-flight sends finish, let drain
                 # progress settle briefly, then report totals.
+                self._enter_phase("quiesce")
                 yield from pml.quiesce_sends()
                 yield Delay(2 * ompi.cluster.eth.model.latency_s)
                 if self.aborted:
-                    raise CheckpointError(
-                        f"{ompi.proc.label}: twophase coordination aborted"
-                    )
+                    self._abort_cleanup()
                 sent, recvd = self._totals()
+                self._enter_phase("round")
                 if i_am_root:
                     done = yield from self._root_round(comm, sent, recvd)
                 else:
                     yield from rml.send(
                         root,
                         TAG_ROUND_REPORT,
-                        {"from": comm.rank, "sent": sent, "recvd": recvd},
+                        {
+                            "from": comm.rank,
+                            "sent": sent,
+                            "recvd": recvd,
+                            "epoch": self._epoch,
+                        },
                     )
-                    _, verdict = yield from rml.recv(TAG_ROUND_VERDICT)
-                    if self.aborted:
-                        raise CheckpointError(
-                            f"{ompi.proc.label}: twophase coordination aborted"
-                        )
+                    while True:
+                        _, verdict = yield from rml.recv(TAG_ROUND_VERDICT)
+                        if self.aborted:
+                            self._abort_cleanup()
+                        if verdict.get("epoch", self._epoch) != self._epoch:
+                            continue  # straggler from an aborted attempt
+                        if verdict.get("abort"):
+                            # The root saw a veto and told us to stand
+                            # down even though nothing vetoed locally.
+                            self._abort_cleanup()
+                        break
                     done = bool(verdict.get("done"))
                 if done:
                     break
         finally:
             pml.leave_drain()
-        yield from pml.quiesce_sends()
+            self._leave_phases(aborted=self.aborted)
+        self._enter_phase("quiesce")
+        try:
+            yield from pml.quiesce_sends()
+        finally:
+            self._leave_phases(aborted=self.aborted)
         log.debug("%s quiesced after %d rounds", ompi.proc.label, self.stats["rounds"])
         return None
 
@@ -142,13 +197,15 @@ class TwoPhaseCRCP(CRCPComponent):
                 break
             if report.get("from", -1) < 0:
                 continue  # abort poke
+            if report.get("epoch", self._epoch) != self._epoch:
+                continue  # straggler report from an aborted attempt
             totals["sent"] += report["sent"]
             totals["recvd"] += report["recvd"]
             seen += 1
         prev = getattr(self, "_prev_totals", None)
         settled = totals["sent"] == totals["recvd"] and prev == totals
         self._prev_totals = dict(totals)
-        verdict = {"done": settled, "abort": self.aborted}
+        verdict = {"done": settled, "abort": self.aborted, "epoch": self._epoch}
         for peer in comm.peer_ranks():
             yield from rml.send(
                 ProcessName(jobid, comm.world_rank(peer)),
@@ -156,12 +213,24 @@ class TwoPhaseCRCP(CRCPComponent):
                 dict(verdict),
             )
         if self.aborted:
-            raise CheckpointError(
-                f"{self.ompi.proc.label}: twophase coordination aborted"
-            )
+            self._abort_cleanup()
         if settled:
             self._prev_totals = None
         return settled
+
+    def _abort_cleanup(self) -> None:
+        """Stand down from an aborted attempt.
+
+        Lifts the gate before raising — ``entry_point`` skips the
+        roll-forward INC(CONTINUE) when the CHECKPOINT descent itself
+        raised, so nobody else would unblock the application's sends.
+        The drain flag is restored by ``coordinate``'s ``finally``.
+        """
+        self.aborted = True
+        self.resume(False)
+        raise CheckpointError(
+            f"{self.ompi.proc.label}: twophase coordination aborted"
+        )
 
     def resume(self, restarting: bool) -> None:
         self.gate_active = False
@@ -175,12 +244,14 @@ class TwoPhaseCRCP(CRCPComponent):
             return
         self.aborted = True
         self.stats["aborts"] += 1
-        # Poke whichever wait the coordinator is in.
+        self.ompi.kernel.tracer.count("crcp.aborts")
+        # Poke whichever wait the coordinator is in.  Pokes not consumed
+        # by this attempt are flushed (or epoch-rejected) by the next.
         self.ompi.rml._queue(TAG_ROUND_REPORT).put(
-            (None, {"from": -1, "sent": 0, "recvd": 0})
+            (None, {"from": -1, "sent": 0, "recvd": 0, "epoch": self._epoch})
         )
         self.ompi.rml._queue(TAG_ROUND_VERDICT).put(
-            (None, {"done": False, "abort": True})
+            (None, {"done": False, "abort": True, "epoch": self._epoch})
         )
 
     # -- image ---------------------------------------------------------------
@@ -188,6 +259,9 @@ class TwoPhaseCRCP(CRCPComponent):
     def capture_image_state(self, crs_name: str):
         if self.gate_active is False:
             raise CheckpointError("CRCP image captured outside coordination")
+        log.debug(
+            "%s: counter state into %s image", self.ompi.proc.label, crs_name
+        )
         return {
             "sent": dict(self.sent_count),
             "recvd": dict(self.recvd_count),

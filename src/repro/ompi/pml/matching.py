@@ -15,7 +15,7 @@ round-trip the posted and unexpected queues across checkpoint/restart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.ompi.constants import ANY_SOURCE, ANY_TAG

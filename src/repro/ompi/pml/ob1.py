@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.mca.component import component_of
 from repro.core.ft_event import drive_ft_event
-from repro.ompi.constants import ANY_SOURCE, ANY_TAG, MSG_HEADER_BYTES
+from repro.ompi.constants import ANY_SOURCE, MSG_HEADER_BYTES
 from repro.ompi.datatype import copy_payload, nbytes_of
 from repro.ompi.pml.base import PMLComponent
 from repro.ompi.pml.matching import MatchingEngine, MPIMsg, PostedRecv
@@ -340,12 +340,16 @@ class Ob1PML(PMLComponent):
     # ------------------------------------------------------------------
 
     def enter_drain(self) -> None:
+        if self.drain_mode:
+            return
         self.drain_mode = True
         for rts in self.matching.pending_rts():
             self.matching.draining.add(rts.msg_id)
             self._spawn_cts(rts)
 
     def leave_drain(self) -> None:
+        # Idempotent: the coordinator's abort path may run after the
+        # drain loop already exited (or before it ever entered).
         self.drain_mode = False
 
     def quiesce_sends(self) -> SimGen:

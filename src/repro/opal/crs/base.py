@@ -68,16 +68,27 @@ class CRSComponent(Component):
             raise CheckpointError(
                 f"CRS {self.name!r} cannot checkpoint {opal.proc.label}"
             )
+        tracer = opal.proc.kernel.tracer
+        rank = opal.proc.name.vpid
+        span = tracer.begin("crs.capture", cat="crs", rank=rank, crs=self.name)
         image = self.capture(opal, request)
+        span.end()
+        span = tracer.begin("crs.serialize", cat="crs", rank=rank, crs=self.name)
         try:
             blob = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise CheckpointError(
                 f"{opal.proc.label}: image not picklable: {exc}"
             ) from exc
+        finally:
+            span.end()
         fs = request.target_fs
         fs.mkdir(request.snapshot_dir)
         ref = LocalSnapshotRef(fs_name=fs.name, path=request.snapshot_dir)
+        span = tracer.begin(
+            "crs.write", cat="crs", rank=rank, crs=self.name,
+            fs=fs.name, bytes=len(blob),
+        )
         yield from fs.write(ref.image_path, blob)
         meta = LocalSnapshotMeta(
             rank=opal.proc.name.vpid,
@@ -92,6 +103,7 @@ class CRSComponent(Component):
             files=[vpath.basename(ref.image_path)],
         )
         yield from write_local_meta(fs, ref, meta)
+        span.end()
         return ref, meta
 
     def restart_extract(self, fs: "FS", ref: LocalSnapshotRef) -> SimGen:

@@ -32,7 +32,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mca.registry import FrameworkRegistry
     from repro.opal.crs.base import CRSComponent
     from repro.simenv.process import SimProcess
-    from repro.snapshot import LocalSnapshotMeta, LocalSnapshotRef
     from repro.vfs.fsbase import FS
 
 log = get_logger("opal.layer")
@@ -79,6 +78,8 @@ class OpalLayer:
         self.registry = registry
         self.params = params
         self.inc_stack = INCStack()
+        self.inc_stack.tracer = proc.kernel.tracer
+        self.inc_stack.owner = proc.label
         self.contributors: dict[str, ImageContributor] = {}
         self.checkpoint_enabled = False
         self.checkpoint_in_progress = False

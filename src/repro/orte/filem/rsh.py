@@ -29,38 +29,65 @@ class RshFILEM(FILEMComponent):
     def _eth_bw(self, hnp: "HNP") -> float:
         return hnp.universe.cluster.eth.model.bandwidth_Bps
 
+    def _traced_copy(self, hnp: "HNP", op: str, node_name: str, gen) -> SimGen:
+        """Run one tree copy under a ``filem.transfer`` span."""
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.transfer", cat="filem", op=op, node=node_name
+        )
+        moved = yield from gen
+        span.end(bytes=int(moved or 0))
+        return moved
+
     def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.gather", cat="filem", entries=len(entries)
+        )
         gens = []
         for node_name, src_dir, dst_dir in entries:
             src_fs = node_local_fs(hnp, node_name)
             gens.append(
-                copy_tree(
-                    src_fs,
-                    src_dir,
-                    hnp.universe.cluster.stable_fs,
-                    dst_dir,
-                    extra_net_Bps=self._eth_bw(hnp),
-                    extra_latency_s=self.session_cost_s,
+                self._traced_copy(
+                    hnp,
+                    "gather",
+                    node_name,
+                    copy_tree(
+                        src_fs,
+                        src_dir,
+                        hnp.universe.cluster.stable_fs,
+                        dst_dir,
+                        extra_net_Bps=self._eth_bw(hnp),
+                        extra_latency_s=self.session_cost_s,
+                    ),
                 )
             )
         moved = yield from self._run_bounded(hnp, gens, self.max_concurrent, "gather")
+        span.end(bytes=moved)
         return moved
 
     def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.broadcast", cat="filem", entries=len(entries)
+        )
         gens = []
         for node_name, src_dir, dst_dir in entries:
             dst_fs = node_local_fs(hnp, node_name)
             gens.append(
-                copy_tree(
-                    hnp.universe.cluster.stable_fs,
-                    src_dir,
-                    dst_fs,
-                    dst_dir,
-                    extra_net_Bps=self._eth_bw(hnp),
-                    extra_latency_s=self.session_cost_s,
+                self._traced_copy(
+                    hnp,
+                    "broadcast",
+                    node_name,
+                    copy_tree(
+                        hnp.universe.cluster.stable_fs,
+                        src_dir,
+                        dst_fs,
+                        dst_dir,
+                        extra_net_Bps=self._eth_bw(hnp),
+                        extra_latency_s=self.session_cost_s,
+                    ),
                 )
             )
         moved = yield from self._run_bounded(
             hnp, gens, self.max_concurrent, "broadcast"
         )
+        span.end(bytes=moved)
         return moved

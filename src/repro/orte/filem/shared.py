@@ -28,21 +28,31 @@ class SharedFILEM(FILEMComponent):
     wants_direct_stable = True
 
     def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.gather", cat="filem", entries=len(entries)
+        )
         stable = hnp.universe.cluster.stable_fs
         yield Delay(stable.op_latency_s * max(1, len(entries)))
         for _node, src_dir, dst_dir in entries:
             # Snapshots were written directly at their destination.
             probe = dst_dir if stable.isdir(dst_dir) else src_dir
             if not stable.isdir(probe):
+                span.end(bytes=0)
                 raise VFSError(f"expected snapshot tree missing: {dst_dir}")
+        span.end(bytes=0)
         return 0
 
     def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.broadcast", cat="filem", entries=len(entries)
+        )
         stable = hnp.universe.cluster.stable_fs
         yield Delay(stable.op_latency_s * max(1, len(entries)))
         for _node, src_dir, _dst in entries:
             if not stable.isdir(src_dir):
+                span.end(bytes=0)
                 raise VFSError(f"snapshot tree missing on stable storage: {src_dir}")
+        span.end(bytes=0)
         return 0
 
     def remove(self, hnp: "HNP", entries: list[tuple[str, str]]) -> SimGen:

@@ -95,6 +95,11 @@ class FullSNAPC(SNAPCComponent):
         interval = job.next_interval
         job.next_interval += 1
         job.state = JobState.CHECKPOINTING
+        tracer = hnp.proc.kernel.tracer
+        ckpt_span = tracer.begin(
+            "snapc.checkpoint", cat="snapc", jobid=job.jobid,
+            interval=interval, np=job.np,
+        )
         terminate = bool(options.get("terminate", False))
         job.halting = terminate
         stable = hnp.universe.cluster.stable_fs
@@ -174,6 +179,12 @@ class FullSNAPC(SNAPCComponent):
                 yield from broadcast_abort()
             return None
 
+        # Figure 1 B–E: request fan-out to the local coordinators and
+        # the completion notifications flowing back.
+        fanout_span = tracer.begin(
+            "snapc.fanout", cat="snapc", jobid=job.jobid,
+            interval=interval, nodes=len(by_node),
+        )
         events = []
         for node_name, ranks in sorted(by_node.items()):
             thread = hnp.proc.spawn_thread(
@@ -184,11 +195,13 @@ class FullSNAPC(SNAPCComponent):
             events.append(thread.done)
         joined = join_all(events, hnp.proc.kernel, name="snapc.global")
         yield WaitEvent(joined)
+        fanout_span.end(errors=len(errors))
 
         if errors or len(results) != job.np:
             job.halting = False
             if job.state == JobState.CHECKPOINTING:
                 job.state = JobState.RUNNING
+            ckpt_span.end(ok=False)
             raise CheckpointError(
                 f"checkpoint of job {job.jobid} failed: "
                 + "; ".join(errors or ["missing local snapshots"])
@@ -208,6 +221,9 @@ class FullSNAPC(SNAPCComponent):
                 [(results[r]["node"], results[r]["path"]) for r in sorted(results)],
             )
 
+        meta_span = tracer.begin(
+            "snapc.meta", cat="snapc", jobid=job.jobid, interval=interval
+        )
         meta = GlobalSnapshotMeta(
             jobid=job.jobid,
             interval=interval,
@@ -229,6 +245,8 @@ class FullSNAPC(SNAPCComponent):
             },
         )
         yield from write_global_meta(stable, ref, meta)
+        meta_span.end()
+        ckpt_span.end(ok=True)
         job.snapshots.append(ref)
         if not terminate and job.state == JobState.CHECKPOINTING:
             job.state = JobState.RUNNING
@@ -362,6 +380,10 @@ class FullSNAPC(SNAPCComponent):
     def local_checkpoint(self, orted: "Orted", payload: dict) -> "SimGen":
         jobid = payload["jobid"]
         results: dict[int, dict] = {}
+        local_span = orted.proc.kernel.tracer.begin(
+            "snapc.local", cat="snapc", jobid=jobid,
+            node=orted.proc.node.name, ranks=len(payload["ranks"]),
+        )
 
         def one_rank(rank: int) -> "SimGen":
             target = payload["targets"][rank]
@@ -418,4 +440,7 @@ class FullSNAPC(SNAPCComponent):
             events.append(thread.done)
         joined = join_all(events, orted.proc.kernel, name="snapc.local")
         yield WaitEvent(joined)
+        local_span.end(
+            ok=all(r.get("ok") for r in results.values())
+        )
         return {str(rank): result for rank, result in results.items()}

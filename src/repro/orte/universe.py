@@ -51,6 +51,8 @@ class Universe:
         self.cluster = cluster
         self.kernel = cluster.kernel
         self.params = params or MCAParams()
+        if self.params.get_bool("obs_trace_enabled", False):
+            self.kernel.tracer.enable()
         self.make_registry = make_registry or default_registry
         self._next_jobid = itertools.count(1)
         self._next_tool_vpid = itertools.count(0)
@@ -149,7 +151,6 @@ class Universe:
 
     def run_job_to_completion(self, job: Job):
         """Drive the kernel until *job* finishes; returns its state."""
-        from repro.simenv.kernel import WaitEvent
 
         def waiter():
             state = yield from job.wait()

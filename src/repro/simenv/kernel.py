@@ -236,6 +236,8 @@ class Kernel:
     """The discrete-event scheduler."""
 
     def __init__(self) -> None:
+        from repro.obs.trace import TraceRecorder
+
         self.now: float = 0.0
         self._pq: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
@@ -244,6 +246,9 @@ class Kernel:
         self._current: "SimThread | None" = None
         #: optional trace callback ``(time, thread_name, event_str)``
         self.trace: Callable[[float, str, str], None] | None = None
+        #: structured span/counter recorder (disabled by default; every
+        #: layer reaches it via ``proc.kernel.tracer``)
+        self.tracer = TraceRecorder(self)
 
     # -- scheduling primitives ---------------------------------------------
 

@@ -11,7 +11,7 @@ checkpoints a running job".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.orte.job import AppSpec, Job

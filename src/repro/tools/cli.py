@@ -147,6 +147,44 @@ def main_migrate(argv=None) -> int:
     return 0 if migrated.state.value == "finished" else 1
 
 
+def main_trace(argv=None) -> int:
+    """ompi-trace: run + checkpoint with the span recorder on, then
+    print the per-phase cost breakdown (and optionally dump the JSON)."""
+    from repro.obs.report import render_phase_report
+
+    parser = _common_parser(
+        "Run a job, checkpoint it with tracing enabled, and report "
+        "per-phase checkpoint costs."
+    )
+    parser.add_argument("--at", type=float, default=0.05, help="sim time of request")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the raw trace JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    universe = _universe(args.nodes, obs_trace_enabled="1")
+    job = ompi_run(
+        universe,
+        args.app,
+        args.np,
+        args={"n_global": 256, "iters": 60000},
+        wait=False,
+    )
+    handle = ompi_checkpoint(universe, job.jobid, at=args.at, wait=False)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    if not reply.get("ok"):
+        print(f"checkpoint failed: {reply.get('error')}")
+        return 1
+    trace = universe.kernel.tracer.to_dict()
+    print(f"global snapshot reference: {reply['snapshot']}")
+    print(render_phase_report(trace, title="checkpoint per-phase breakdown"))
+    if args.json:
+        universe.kernel.tracer.write_json(args.json)
+        print(f"trace written to {args.json}")
+    return 0
+
+
 def main_ps(argv=None) -> int:
     args = _common_parser("Run a job, then print the HNP job table.").parse_args(argv)
     universe = _universe(args.nodes)

@@ -138,8 +138,6 @@ class TestNetpipe:
 
 class TestAppContext:
     def test_rng_keyed_by_app_and_rank(self):
-        draws = {}
-
         def main(ctx):
             yield ctx.compute(seconds=0.0)
             return ctx.rng.uniform()

@@ -2,11 +2,10 @@
 counting, gating, and drain behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.mca.params import MCAParams
 from repro.ompi.crcp.wrapper import CRCPWrapperPML
-from repro.tools.api import checkpoint_ref, ompi_checkpoint, ompi_restart, ompi_run
+from repro.tools.api import ompi_checkpoint, ompi_restart, ompi_run
 from tests.conftest import make_universe
 from tests.test_pml import define_app
 

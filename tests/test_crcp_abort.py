@@ -1,0 +1,215 @@
+"""Abort-path regression tests for the CRCP coordination protocols.
+
+Fault-injects a veto into *every* coordination phase — bookmark
+exchange, drain, and quiesce for ``coord``; quiesce and round for
+``twophase`` — and asserts the section-5.1 guarantee: no process is
+affected, the job keeps running, and a back-to-back checkpoint of the
+same job succeeds.  These cover the three abort-path fixes:
+
+* balanced ``enter_drain``/``leave_drain`` (no unbalanced leave when
+  the abort lands before or after the drain loop);
+* epoch-tagged poison/bookmarks (stragglers from an aborted attempt
+  cannot pollute the next interval);
+* the gate is lifted by ``resume(False)`` on the coordinating thread,
+  so the application's sends unblock even though the roll-forward
+  INC(CONTINUE) never runs for a coordination-time failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mca.params import MCAParams
+from repro.orte.oob import TAG_CRCP_BOOKMARK
+from repro.simenv.kernel import Delay
+from repro.tools.api import ompi_checkpoint, ompi_run
+from repro.util.ids import ProcessName
+from tests.conftest import make_universe
+from tests.test_pml import define_app
+
+#: above the eager limit so the burst is rendezvous traffic the drain
+#: must force-CTS
+PAYLOAD = 131072
+TAG = 7
+BURST = 8
+
+
+def _burst_app(ctx):
+    """rank 0 bursts rendezvous sends; rank 1 receives them between two
+    compute blocks, so a checkpoint at t=0.1 lands with the burst in
+    flight and the job survives well past a second checkpoint."""
+    if ctx.rank == 0:
+        payload = np.zeros(PAYLOAD, dtype=np.uint8)
+        reqs = []
+        for _ in range(BURST):
+            reqs.append((yield ctx.isend(payload, 1, TAG)))
+        yield ctx.compute(seconds=1.5)
+        yield from ctx.waitall(reqs)
+        return "sent"
+    yield ctx.compute(seconds=0.3)
+    for _ in range(BURST):
+        yield from ctx.recv(0, TAG)
+    yield ctx.compute(seconds=1.2)
+    return "received"
+
+
+define_app("t_abort_burst", _burst_app)
+
+
+def _abort_in_phase(universe, jobid: int, rank: int, phase: str) -> dict:
+    """Spawn a watcher that vetoes *rank* when it reaches *phase*.
+
+    Returns a record dict the watcher fills in: ``crcp`` (the target's
+    component) and ``abort_time``.  The watcher gives up at sim t=1.0
+    so the kernel's event queue always drains.
+    """
+    record: dict = {}
+
+    def watcher():
+        yield Delay(0.09)
+        while universe.kernel.now < 1.0:
+            proc = universe.lookup(ProcessName(jobid, rank))
+            if proc is not None:
+                ompi = proc.maybe_service("ompi")
+                if (
+                    ompi is not None
+                    and ompi.crcp is not None
+                    and ompi.crcp.phase == phase
+                ):
+                    record["crcp"] = ompi.crcp
+                    record["ompi"] = ompi
+                    record["abort_time"] = universe.kernel.now
+                    ompi.crcp.abort()
+                    return None
+            yield Delay(1e-5)
+        return None
+
+    universe.kernel.spawn(watcher(), name=f"abort-{phase}", daemon=True)
+    return record
+
+
+def _run_abort_then_retry(crcp_name: str, rank: int, phase: str) -> dict:
+    """Checkpoint at 0.1 with a phase-targeted veto, checkpoint again
+    at 0.8, run the job out; returns everything the asserts need."""
+    universe = make_universe(2)
+    job = ompi_run(
+        universe,
+        "t_abort_burst",
+        2,
+        params=MCAParams({"crcp": crcp_name}),
+        wait=False,
+    )
+    record = _abort_in_phase(universe, job.jobid, rank, phase)
+    first = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+    second = ompi_checkpoint(universe, job.jobid, at=0.8, wait=False)
+    universe.run_job_to_completion(job)
+    return {
+        "job": job,
+        "record": record,
+        "first": first.result(),
+        "second": second.result(),
+    }
+
+
+CASES = [
+    ("coord", 1, "bookmark"),
+    ("coord", 1, "drain"),
+    ("coord", 0, "quiesce"),
+    ("twophase", 0, "quiesce"),
+    ("twophase", 1, "round"),
+]
+
+
+@pytest.mark.parametrize("crcp_name,rank,phase", CASES)
+def test_abort_in_phase_then_back_to_back_checkpoint(crcp_name, rank, phase):
+    out = _run_abort_then_retry(crcp_name, rank, phase)
+    record = out["record"]
+    # The fault injector must actually have seen the target phase.
+    assert "abort_time" in record, f"phase {phase!r} never observed"
+    assert record["crcp"].stats["aborts"] >= 1
+    # First checkpoint fails cleanly (section 5.1: notify the user)...
+    assert out["first"]["ok"] is False
+    assert "abort" in (out["first"]["error"] or "").lower()
+    # ...no process is affected: the job keeps running to the right
+    # answers, drain mode is balanced, the gate is lifted, and no
+    # coordination phase is stuck open.
+    job = out["job"]
+    assert job.state.value == "finished"
+    assert job.results[0] == "sent"
+    assert job.results[1] == "received"
+    assert record["ompi"].pml_base.drain_mode is False
+    assert record["crcp"].gate_active is False
+    assert record["crcp"].phase is None
+    # ...and the back-to-back checkpoint of the same job succeeds.
+    assert out["second"]["ok"] is True, out["second"].get("error")
+    assert out["second"]["snapshot"]
+
+
+def test_stale_poison_does_not_leak_into_next_interval():
+    """A poison message left unconsumed by an aborted attempt must not
+    poison the next interval's bookmark collection."""
+    universe = make_universe(2)
+    job = ompi_run(
+        universe,
+        "t_abort_burst",
+        2,
+        params=MCAParams({"crcp": "coord"}),
+        wait=False,
+    )
+    seen: dict = {}
+
+    def inject():
+        # Plant stale poison (epoch 0: "before any attempt") directly
+        # in rank 1's bookmark mailbox before the checkpoint lands.
+        yield Delay(0.05)
+        rml = universe.lookup_rml(ProcessName(job.jobid, 1))
+        rml._queue(TAG_CRCP_BOOKMARK).put((None, {"abort": True, "epoch": 0}))
+        proc = universe.lookup(ProcessName(job.jobid, 1))
+        seen["crcp"] = proc.service("ompi").crcp
+        return None
+
+    universe.kernel.spawn(inject(), name="inject-poison", daemon=True)
+    handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    assert reply["ok"] is True, reply.get("error")
+    assert job.state.value == "finished"
+    # The attempt was never vetoed; the stale poison was discarded.
+    assert seen["crcp"].stats["aborts"] == 0
+    assert seen["crcp"].stats["coordinations"] == 1
+
+
+def test_stale_epoch_bookmark_is_discarded():
+    """A bookmark from an aborted previous attempt (lower epoch, lower
+    cumulative count) must not end the drain early."""
+    universe = make_universe(2)
+    job = ompi_run(
+        universe,
+        "t_abort_burst",
+        2,
+        params=MCAParams({"crcp": "coord"}),
+        wait=False,
+    )
+    seen: dict = {}
+
+    def inject():
+        # A stale epoch-0 bookmark claiming rank 0 sent nothing.  If it
+        # were believed, rank 1 would skip draining the burst and the
+        # captured channels would not be empty.
+        yield Delay(0.05)
+        rml = universe.lookup_rml(ProcessName(job.jobid, 1))
+        rml._queue(TAG_CRCP_BOOKMARK).put(
+            (None, {"from_world": 0, "sent_to_you": 0, "epoch": 0})
+        )
+        proc = universe.lookup(ProcessName(job.jobid, 1))
+        seen["crcp"] = proc.service("ompi").crcp
+        return None
+
+    universe.kernel.spawn(inject(), name="inject-stale", daemon=True)
+    handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+    universe.run_job_to_completion(job)
+    reply = handle.result()
+    assert reply["ok"] is True, reply.get("error")
+    assert job.state.value == "finished"
+    # The drain believed the *real* epoch-1 bookmark and pulled the
+    # whole burst in.
+    assert seen["crcp"].stats["drained_msgs"] == BURST

@@ -5,9 +5,7 @@ import pickle
 
 import pytest
 
-from repro.mca.params import MCAParams
 from repro.ompi.ops import InlineRuntime, drive_ops
-from repro.snapshot import GlobalSnapshotRef
 from repro.tools.api import checkpoint_ref, ompi_checkpoint, ompi_restart, ompi_run
 from repro.util.errors import MPIError, NetworkError, RestartError, SnapshotError
 from tests.conftest import make_universe, run_gen

@@ -52,7 +52,7 @@ class TestINCStack:
             called.append("bottom")
             yield from down(state)
 
-        prev_of_bottom = stack.register("bottom", bottom)
+        stack.register("bottom", bottom)
 
         def top(state, down):
             called.append("top")

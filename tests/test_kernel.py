@@ -5,7 +5,6 @@ import pytest
 from repro.simenv.kernel import (
     Delay,
     Kernel,
-    SimEvent,
     WaitEvent,
     first_of,
     join_all,

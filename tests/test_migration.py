@@ -4,7 +4,6 @@ checkpoints landing inside collectives."""
 import pytest
 
 from repro.tools.api import ompi_checkpoint, ompi_migrate, ompi_restart, ompi_run
-from repro.util.errors import RestartError
 from tests.conftest import make_universe
 from tests.test_pml import define_app
 

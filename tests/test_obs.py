@@ -1,0 +1,195 @@
+"""Tests for the observability layer (repro.obs).
+
+Unit-level: the recorder's disabled fast path, span timing against the
+DES clock, the report helpers, and the JSON round-trip.  Integration:
+a traced end-to-end checkpoint must produce spans from every framework
+the paper's Figure 2 walks through (SNAPC, CRCP, CRS, FILEM, INC).
+"""
+
+from repro.obs import (
+    NULL_SPAN,
+    TraceRecorder,
+    filter_spans,
+    load_json,
+    phase_rows,
+    render_phase_report,
+    summarize,
+)
+from repro.simenv.kernel import Delay
+from repro.tools.api import ompi_checkpoint, ompi_run
+from tests.conftest import make_universe, run_gen
+
+
+class TestRecorder:
+    def test_disabled_by_default(self, kernel):
+        tracer = TraceRecorder(kernel)
+        assert not tracer.enabled
+        span = tracer.begin("crcp.drain", rank=0)
+        assert span is NULL_SPAN
+        span.end(drained=3)  # no-op, must not raise
+        tracer.count("crcp.drained_msgs", 5)
+        out = tracer.to_dict()
+        assert out["spans"] == []
+        assert out["counters"] == {}
+
+    def test_universe_default_is_disabled(self):
+        universe = make_universe(2)
+        assert not universe.kernel.tracer.enabled
+
+    def test_span_measures_sim_time(self, kernel):
+        tracer = TraceRecorder(kernel, enabled=True)
+
+        def main():
+            span = tracer.begin("crs.write", fs="central")
+            yield Delay(0.25)
+            span.end(bytes=100)
+            return None
+
+        run_gen(kernel, main())
+        (span,) = tracer.to_dict()["spans"]
+        assert span["name"] == "crs.write"
+        assert span["cat"] == "crs"
+        assert span["dur"] == 0.25
+        assert span["attrs"] == {"fs": "central", "bytes": 100}
+        assert span["wall"] >= 0.0
+
+    def test_end_is_idempotent(self, kernel):
+        tracer = TraceRecorder(kernel, enabled=True)
+        span = tracer.begin("snapc.fanout")
+        span.end(nodes=2)
+        span.end(nodes=99)  # ignored
+        (out,) = tracer.to_dict()["spans"]
+        assert out["attrs"] == {"nodes": 2}
+
+    def test_counters_accumulate(self, kernel):
+        tracer = TraceRecorder(kernel, enabled=True)
+        tracer.count("crcp.drained_msgs", 2)
+        tracer.count("crcp.drained_msgs")
+        assert tracer.to_dict()["counters"] == {"crcp.drained_msgs": 3}
+
+    def test_clear_resets(self, kernel):
+        tracer = TraceRecorder(kernel, enabled=True)
+        tracer.begin("crcp.drain").end()
+        tracer.count("x")
+        tracer.clear()
+        out = tracer.to_dict()
+        assert out["spans"] == [] and out["counters"] == {}
+
+    def test_json_round_trip(self, kernel, tmp_path):
+        tracer = TraceRecorder(kernel, enabled=True)
+        tracer.begin("filem.transfer", node="node01").end(bytes=42)
+        path = tmp_path / "trace.json"
+        tracer.write_json(str(path))
+        loaded = load_json(str(path))
+        assert loaded == tracer.to_dict()
+
+
+class TestReport:
+    def _trace(self, kernel):
+        tracer = TraceRecorder(kernel, enabled=True)
+        tracer.begin("crcp.drain", rank=0).end()
+        tracer.begin("crcp.drain", rank=1).end()
+        tracer.begin("crs.write", fs="central").end()
+        tracer.count("crcp.drained_msgs", 7)
+        return tracer.to_dict()
+
+    def test_summarize_groups_by_name(self, kernel):
+        summary = summarize(self._trace(kernel))
+        assert summary["crcp.drain"]["count"] == 2
+        assert summary["crs.write"]["count"] == 1
+
+    def test_filter_spans_by_attr(self, kernel):
+        spans = filter_spans(self._trace(kernel), name="crcp.drain", rank=1)
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["rank"] == 1
+
+    def test_phase_rows_zero_fill(self, kernel):
+        rows = phase_rows(self._trace(kernel), ["crcp.drain", "crcp.quiesce"])
+        as_dict = {phase: count for phase, count, _, _ in rows}
+        assert as_dict == {"crcp.drain": 2, "crcp.quiesce": 0}
+
+    def test_render_phase_report(self, kernel):
+        text = render_phase_report(self._trace(kernel), title="demo")
+        assert "demo" in text
+        assert "crcp.drain" in text
+        assert "crcp.drained_msgs" in text
+
+
+class TestTracedCheckpoint:
+    def test_full_checkpoint_emits_all_framework_spans(self):
+        universe = make_universe(
+            2, params={"obs_trace_enabled": "1", "filem": "rsh"}
+        )
+        assert universe.kernel.tracer.enabled
+        job = ompi_run(
+            universe,
+            "jacobi",
+            2,
+            args={"n_global": 64, "iters": 4000},
+            wait=False,
+        )
+        handle = ompi_checkpoint(universe, job.jobid, at=0.05, wait=False)
+        universe.run_job_to_completion(job)
+        assert handle.result()["ok"] is True
+        trace = universe.kernel.tracer.to_dict()
+        names = {span["name"] for span in trace["spans"]}
+        # Figure 2's descent, as data: every framework leaves spans.
+        for expected in (
+            "snapc.checkpoint",
+            "snapc.fanout",
+            "snapc.local",
+            "snapc.meta",
+            "crcp.coordinate",
+            "crcp.bookmark",
+            "crcp.drain",
+            "crcp.quiesce",
+            "crs.capture",
+            "crs.serialize",
+            "crs.write",
+            "filem.gather",
+            "filem.transfer",
+        ):
+            assert expected in names, f"missing span {expected!r}"
+        assert any(name.startswith("inc.") for name in names)
+        # One coordination span per rank, tagged with the epoch.
+        coords = filter_spans(trace, name="crcp.coordinate")
+        assert len(coords) == 2
+        assert {span["attrs"]["rank"] for span in coords} == {0, 1}
+        assert all(span["attrs"]["epoch"] == 1 for span in coords)
+        # Spans are closed: every recorded span has an end time.
+        assert all(span["t1"] >= span["t0"] for span in trace["spans"])
+
+    def test_inc_spans_nest_by_layer(self):
+        universe = make_universe(2, params={"obs_trace_enabled": "1"})
+        job = ompi_run(
+            universe,
+            "jacobi",
+            2,
+            args={"n_global": 64, "iters": 4000},
+            wait=False,
+        )
+        handle = ompi_checkpoint(universe, job.jobid, at=0.05, wait=False)
+        universe.run_job_to_completion(job)
+        assert handle.result()["ok"] is True
+        trace = universe.kernel.tracer.to_dict()
+        ckpt = [
+            span
+            for span in trace["spans"]
+            if span["cat"] == "inc" and span["attrs"].get("state") == "CHECKPOINT"
+        ]
+        # Each rank ran one CHECKPOINT descent over the stack; outer
+        # layers fully enclose inner ones (inclusive timing).
+        by_owner: dict[str, list[dict]] = {}
+        for span in ckpt:
+            by_owner.setdefault(span["attrs"]["owner"], []).append(span)
+        assert len(by_owner) == 2
+        for spans in by_owner.values():
+            # Higher depth = outer layer (the stack is registered
+            # bottom-up); sort outermost first.
+            spans.sort(key=lambda span: -span["attrs"]["depth"])
+            names = [span["name"] for span in spans]
+            assert names[-3:] == ["inc.ompi", "inc.orte", "inc.opal"]
+            for outer, inner in zip(spans, spans[1:]):
+                assert outer["t0"] <= inner["t0"]
+                assert outer["t1"] >= inner["t1"]
+                assert outer["dur"] >= inner["dur"]

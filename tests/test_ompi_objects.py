@@ -7,7 +7,7 @@ import pytest
 from repro.ompi.communicator import Communicator
 from repro.ompi.datatype import copy_payload, nbytes_of
 from repro.ompi.group import Group
-from repro.ompi.request import Request, RequestTable
+from repro.ompi.request import RequestTable
 from repro.ompi.status import Status
 from repro.simenv.kernel import Kernel
 from repro.util.errors import MPIError

@@ -3,12 +3,10 @@ semantics (the simcr process-image substitution, DESIGN.md decision 1)."""
 
 import pytest
 
-from repro.mca.params import MCAParams
 from repro.ompi import errors_map
-from repro.ompi.ops import MPIOp, OpCompute, OpNow
+from repro.ompi.ops import OpCompute
 from repro.tools.api import ompi_restart, ompi_run
 from repro.util.errors import (
-    CheckpointError,
     MPIError,
     NotCheckpointableError,
     ReproError,
@@ -104,7 +102,6 @@ class TestRecordReplay:
         define_app("t_now_replay", main)
         job = ompi_run(universe, "t_now_replay", 2, wait=False)
         universe.run_job_to_completion(job)
-        first_early = {}
 
         new_job = ompi_restart(universe, job.snapshots[-1])
         for rank, (early, late) in new_job.results.items():
@@ -130,7 +127,7 @@ class TestRecordReplay:
         new_job = ompi_restart(universe, job.snapshots[-1])
         # Same seed + same stream + same draw sequence = same values as
         # an undisturbed run.
-        undisturbed = ompi_run(make_universe(2), "t_rng_replay", 2, wait=False)
+        ompi_run(make_universe(2), "t_rng_replay", 2, wait=False)
         # (the undisturbed job halts too — compare against another
         # restarted run instead for exactness)
         universe2 = make_universe(2)

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.mca.params import MCAParams
 from repro.orte.oob import TAG_PS_REPLY, TAG_PS_REQUEST
-from repro.orte.universe import Universe
-from repro.simenv.cluster import Cluster, ClusterSpec
-from repro.simenv.kernel import WaitEvent, join_all
 from repro.util.errors import NetworkError
 from repro.util.ids import ProcessName, daemon_name, hnp_name
 from tests.conftest import make_universe, run_gen

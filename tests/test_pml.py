@@ -2,13 +2,10 @@
 selection, pre-init buffering."""
 
 import numpy as np
-import pytest
 
-from repro.apps.registry import _APPS, app
+from repro.apps.registry import _APPS
 from repro.mca.params import MCAParams
 from repro.tools.api import ompi_run
-from repro.util.errors import MPIError
-from repro.util.ids import ProcessName
 from tests.conftest import make_universe
 
 
@@ -33,7 +30,6 @@ class TestEagerAndRendezvous:
         define_app("t_eager", main)
         job = ompi_run(universe, "t_eager", 2)
         assert job.results[1] == 100
-        pml = None  # procs are gone; check via stats is not possible here
 
     def test_large_message_uses_rendezvous(self):
         universe = make_universe(2)
