@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.mca.params import MCAParams
-from repro.obs.report import phase_rows
+from repro.obs.report import filter_spans, phase_rows
 from repro.orte.universe import Universe
 from repro.simenv.cluster import Cluster, ClusterSpec
 from repro.simenv.kernel import WaitEvent
@@ -78,6 +80,33 @@ def phase_table_rows(trace: dict, phases: list[str] | None = None) -> list[Row]:
 PHASE_COLUMNS = ["count", "sim (ms)", "wall (ms)"]
 
 
+def write_bench_json(filename: str, payload: dict) -> str:
+    """Persist an experiment's machine-readable results.
+
+    Written into the current working directory (the repo root under
+    CI, which uploads ``BENCH_*.json`` as build artifacts).
+    """
+    path = os.path.join(os.getcwd(), filename)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def stable_commit_latency_s(trace: dict, at: float) -> float:
+    """Request-to-stable-commit latency from a traced run.
+
+    The checkpoint reply returns as soon as the job resumes (the
+    app-blocked window); the interval is only durable when its
+    background ``snapc.stage`` span closes.  Returns the time from the
+    request to the end of the last stage span, or NaN if none ran.
+    """
+    stages = filter_spans(trace, name="snapc.stage")
+    if not stages:
+        return float("nan")
+    return max(s["t0"] + s["dur"] for s in stages) - at
+
+
 def run_and_checkpoint(
     app: str,
     np: int,
@@ -92,9 +121,13 @@ def run_and_checkpoint(
 
     Returns ``(universe, measurement)`` where the measurement carries
     the *simulated* checkpoint latency — request departure to
-    global-snapshot-reference reply, the window Figure 1 spans.  With
-    ``trace=True`` the universe runs with the span recorder on and the
-    measurement gains a ``"trace"`` key holding the JSON export.
+    global-snapshot-reference reply.  Under asynchronous staging that
+    reply arrives once every local snapshot is written and the job has
+    resumed, so this is the **app-blocked** window (also exposed as
+    ``"app_blocked_s"``).  With ``trace=True`` the universe runs with
+    the span recorder on and the measurement gains a ``"trace"`` key
+    plus ``"stable_commit_s"`` — request to the end of the background
+    ``snapc.stage`` span, the end-to-end durability latency.
     """
     if trace:
         params = dict(params or {})
@@ -118,13 +151,18 @@ def run_and_checkpoint(
     universe.kernel.spawn(watch(), name="bench-watch", daemon=True)
     universe.run_job_to_completion(job)
     reply = handle.result()
+    latency = finish.get("t", float("nan")) - at
     measurement = {
         "ok": reply.get("ok", False),
         "error": reply.get("error"),
         "snapshot": reply.get("snapshot"),
-        "sim_latency_s": finish.get("t", float("nan")) - at,
+        "sim_latency_s": latency,
+        "app_blocked_s": latency,
         "job_state": job.state.value,
     }
     if trace:
         measurement["trace"] = universe.kernel.tracer.to_dict()
+        measurement["stable_commit_s"] = stable_commit_latency_s(
+            measurement["trace"], at
+        )
     return universe, measurement

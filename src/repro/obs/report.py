@@ -17,11 +17,13 @@ DEFAULT_PHASES = [
     "crcp.drain",
     "crcp.quiesce",
     "crcp.round",
+    "crs.hash",
     "crs.serialize",
     "crs.write",
     "filem.transfer",
     "snapc.fanout",
     "snapc.meta",
+    "snapc.stage",
 ]
 
 

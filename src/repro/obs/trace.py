@@ -12,10 +12,11 @@ Span naming follows ``<framework>.<phase>``:
 =====================  ====================================================
 span name              opened around
 =====================  ====================================================
-``snapc.checkpoint``   the whole global checkpoint (Figure 1 A→A)
+``snapc.checkpoint``   the app-blocked window (Figure 1 A→F)
 ``snapc.fanout``       global→local request fan-out + acks (Figure 1 B–E)
 ``snapc.local``        one orted's local coordinator pass
-``snapc.meta``         the global metadata write
+``snapc.meta``         one global metadata write (per staging transition)
+``snapc.stage``        background staging of one interval to stable storage
 ``crcp.coordinate``    one process's whole coordination
 ``crcp.bookmark``      the all-to-all bookmark exchange (``coord``)
 ``crcp.drain``         the channel drain loop
@@ -23,7 +24,8 @@ span name              opened around
 ``crcp.round``         one aggregation round (``twophase``)
 ``crs.capture``        assembling the in-memory image
 ``crs.serialize``      pickling the image
-``crs.write``          writing image + metadata to the target fs
+``crs.hash``           the per-chunk hash pass (incremental)
+``crs.write``          writing image or dirty chunks + metadata
 ``filem.transfer``     one per-entry tree copy (``rsh``)
 ``filem.gather``       a whole gather operation
 ``filem.broadcast``    a whole broadcast operation

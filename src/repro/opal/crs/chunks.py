@@ -1,0 +1,236 @@
+"""Chunked image store: the incremental-checkpoint file format.
+
+A local snapshot's image is stored as a sequence of fixed-size chunks
+described by a ``chunks.json`` manifest.  A **full** snapshot carries
+the whole image (``image.pkl``) plus a manifest listing every chunk's
+hash; a **delta** snapshot carries only the chunks that changed since
+the base interval (``chunk_<i>.bin``) plus a manifest that still lists
+*every* chunk's hash, so any reader can verify a reconstruction.
+
+Reconstruction walks a chain of snapshot directories newest → oldest
+until it finds a full image, then overlays each delta's present chunks
+in interval order.  The chain may mix kinds per rank (a rank with no
+chunk cache falls back to a full image inside a globally-delta
+interval); reconstruction handles that per directory.
+
+These helpers are shared by the CRS components (capture side), the
+restart path (reconstruction side), and the SNAPC staging coordinator
+(compaction side), so the format lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.simenv.kernel import SimGen
+from repro.util.errors import RestartError, SnapshotError
+from repro.vfs import path as vpath
+from repro.vfs.fsbase import FS
+
+CHUNK_MANIFEST = "chunks.json"
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+KIND_FULL = "full"
+KIND_DELTA = "delta"
+
+
+def chunk_filename(index: int) -> str:
+    return f"chunk_{index:06d}.bin"
+
+
+def split_chunks(blob: bytes, chunk_bytes: int) -> list[bytes]:
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    return [blob[i : i + chunk_bytes] for i in range(0, len(blob), chunk_bytes)] or [
+        b""
+    ]
+
+
+def hash_chunk(chunk: bytes) -> str:
+    return hashlib.sha256(chunk).hexdigest()
+
+
+@dataclass
+class ChunkManifest:
+    """Contents of a snapshot directory's ``chunks.json``."""
+
+    kind: str
+    chunk_bytes: int
+    total_bytes: int
+    #: every chunk's hash at this interval (full image shape)
+    hashes: list[str] = field(default_factory=list)
+    #: chunk indices physically present in this directory
+    present: list[int] = field(default_factory=list)
+    #: interval this delta diffs against (None for full images)
+    base_interval: int | None = None
+    interval: int = 0
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.hashes)
+
+    def to_json(self) -> bytes:
+        return json.dumps(asdict(self), sort_keys=True).encode()
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "ChunkManifest":
+        try:
+            return cls(**json.loads(raw.decode()))
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SnapshotError(f"bad chunk manifest: {exc}") from exc
+
+
+def manifest_path(snapshot_dir: str) -> str:
+    return vpath.join(snapshot_dir, CHUNK_MANIFEST)
+
+
+def write_manifest(fs: FS, snapshot_dir: str, manifest: ChunkManifest) -> SimGen:
+    yield from fs.write(manifest_path(snapshot_dir), manifest.to_json())
+    return manifest
+
+
+def read_manifest(fs: FS, snapshot_dir: str) -> SimGen:
+    raw = yield from fs.read(manifest_path(snapshot_dir))
+    return ChunkManifest.from_json(raw)
+
+
+def has_manifest(fs: FS, snapshot_dir: str) -> bool:
+    return fs.exists(manifest_path(snapshot_dir))
+
+
+def diff_chunks(hashes: list[str], base_hashes: list[str]) -> list[int]:
+    """Indices of chunks that differ from (or extend past) the base."""
+    return [
+        i
+        for i, digest in enumerate(hashes)
+        if i >= len(base_hashes) or base_hashes[i] != digest
+    ]
+
+
+def write_delta(
+    fs: FS,
+    snapshot_dir: str,
+    chunks: list[bytes],
+    hashes: list[str],
+    dirty: list[int],
+    chunk_bytes: int,
+    interval: int,
+    base_interval: int,
+) -> SimGen:
+    """Write only the dirty chunks plus the manifest; returns manifest.
+
+    The write cost is proportional to the dirty bytes — the point of
+    incremental checkpointing.
+    """
+    total = sum(len(c) for c in chunks)
+    for index in dirty:
+        yield from fs.write(
+            vpath.join(snapshot_dir, chunk_filename(index)), chunks[index]
+        )
+    manifest = ChunkManifest(
+        kind=KIND_DELTA,
+        chunk_bytes=chunk_bytes,
+        total_bytes=total,
+        hashes=list(hashes),
+        present=sorted(dirty),
+        base_interval=base_interval,
+        interval=interval,
+    )
+    yield from write_manifest(fs, snapshot_dir, manifest)
+    return manifest
+
+
+def write_full_manifest(
+    fs: FS,
+    snapshot_dir: str,
+    chunk_bytes: int,
+    total_bytes: int,
+    hashes: list[str],
+    interval: int,
+) -> SimGen:
+    manifest = ChunkManifest(
+        kind=KIND_FULL,
+        chunk_bytes=chunk_bytes,
+        total_bytes=total_bytes,
+        hashes=list(hashes),
+        present=list(range(len(hashes))),
+        base_interval=None,
+        interval=interval,
+    )
+    yield from write_manifest(fs, snapshot_dir, manifest)
+    return manifest
+
+
+def reconstruct_chain(fs: FS, chain_dirs: list[str], image_file: str) -> SimGen:
+    """Rebuild the newest image from a base + delta directory chain.
+
+    ``chain_dirs`` is ordered oldest → newest; the newest entry is the
+    target interval.  Returns ``(blob, manifest)`` where *manifest* is
+    the newest directory's manifest.  Raises :class:`RestartError` if
+    no full base exists in the chain or the reconstruction does not
+    verify against the manifest hashes.
+    """
+    if not chain_dirs:
+        raise RestartError("empty snapshot chain")
+    newest = chain_dirs[-1]
+    if not has_manifest(fs, newest):
+        # Pre-incremental snapshot layout: plain full image.
+        blob = yield from fs.read(vpath.join(newest, image_file))
+        return blob, None
+    final = yield from read_manifest(fs, newest)
+
+    # Walk back to the nearest full image for this rank.
+    start = None
+    for pos in range(len(chain_dirs) - 1, -1, -1):
+        directory = chain_dirs[pos]
+        if not has_manifest(fs, directory):
+            start = pos  # legacy full image
+            break
+        manifest = yield from read_manifest(fs, directory)
+        if manifest.kind == KIND_FULL:
+            start = pos
+            break
+    if start is None:
+        raise RestartError(
+            f"snapshot chain for {newest} has no full base image"
+        )
+
+    base_dir = chain_dirs[start]
+    blob = yield from fs.read(vpath.join(base_dir, image_file))
+    if start == len(chain_dirs) - 1:
+        return blob, final
+
+    chunk_bytes = final.chunk_bytes
+    chunks = split_chunks(blob, chunk_bytes)
+    for directory in chain_dirs[start + 1 :]:
+        manifest = yield from read_manifest(fs, directory)
+        if manifest.kind == KIND_FULL:
+            blob = yield from fs.read(vpath.join(directory, image_file))
+            chunks = split_chunks(blob, manifest.chunk_bytes)
+            continue
+        # Grow/shrink to the delta's chunk count, then overlay.
+        n = manifest.n_chunks
+        if len(chunks) < n:
+            chunks.extend([b""] * (n - len(chunks)))
+        elif len(chunks) > n:
+            del chunks[n:]
+        for index in manifest.present:
+            data = yield from fs.read(
+                vpath.join(directory, chunk_filename(index))
+            )
+            chunks[index] = data
+
+    blob = b"".join(chunks)
+    if len(blob) != final.total_bytes:
+        raise RestartError(
+            f"reconstructed image is {len(blob)} bytes, manifest says "
+            f"{final.total_bytes} ({newest})"
+        )
+    for index, chunk in enumerate(chunks):
+        if hash_chunk(chunk) != final.hashes[index]:
+            raise RestartError(
+                f"reconstructed chunk {index} of {newest} fails verification"
+            )
+    return blob, final

@@ -83,6 +83,10 @@ class OpalLayer:
         self.contributors: dict[str, ImageContributor] = {}
         self.checkpoint_enabled = False
         self.checkpoint_in_progress = False
+        #: chunk-hash cache of the last snapshot taken by this process
+        #: ({"interval", "chunk_bytes", "hashes"}) — lets the next
+        #: incremental request emit only changed chunks
+        self.incr_chunk_cache: dict[str, Any] | None = None
         #: SELF-component application callbacks (checkpoint/continue/restart)
         self.self_callbacks: dict[str, Any] = {}
         self.crs: "CRSComponent" = registry.framework("crs").open(

@@ -54,6 +54,20 @@ class FILEMComponent(Component):
             total += yield from node.local_fs.remove_tree(tree)
         return total
 
+    def stage_out(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        """Gather local trees to stable storage and clean up the sources.
+
+        Default: gather, then remove everything.  Components override
+        to fold the cleanup into a per-node continuation of each
+        transfer so a node's local staging frees as soon as its own
+        copy finishes.
+        """
+        moved = yield from self.gather(hnp, entries)
+        yield from self.remove(
+            hnp, [(node, src) for node, src, _dst in entries]
+        )
+        return moved
+
     # -- shared helper: run per-entry generators with bounded concurrency ---
 
     def _run_bounded(self, hnp: "HNP", gens: list, limit: int, label: str) -> SimGen:

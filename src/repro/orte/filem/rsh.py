@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 from repro.mca.component import component_of
 from repro.orte.filem.base import FILEMComponent, node_local_fs
 from repro.simenv.kernel import SimGen
+from repro.util.errors import VFSError
 from repro.vfs.transfer import copy_tree
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,6 +61,41 @@ class RshFILEM(FILEMComponent):
                     ),
                 )
             )
+        moved = yield from self._run_bounded(hnp, gens, self.max_concurrent, "gather")
+        span.end(bytes=moved)
+        return moved
+
+    def stage_out(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        span = hnp.proc.kernel.tracer.begin(
+            "filem.gather", cat="filem", entries=len(entries)
+        )
+
+        def one(node_name: str, src_dir: str, dst_dir: str) -> SimGen:
+            src_fs = node_local_fs(hnp, node_name)
+            moved = yield from self._traced_copy(
+                hnp,
+                "gather",
+                node_name,
+                copy_tree(
+                    src_fs,
+                    src_dir,
+                    hnp.universe.cluster.stable_fs,
+                    dst_dir,
+                    extra_net_Bps=self._eth_bw(hnp),
+                    extra_latency_s=self.session_cost_s,
+                ),
+            )
+            # Continuation: drop this node's local staging right away,
+            # overlapping the cleanup with the remaining transfers.  A
+            # node dying between its copy and the cleanup is harmless —
+            # the snapshot is already on stable storage.
+            try:
+                yield from src_fs.remove_tree(src_dir)
+            except VFSError:
+                pass
+            return moved
+
+        gens = [one(node, src, dst) for node, src, dst in entries]
         moved = yield from self._run_bounded(hnp, gens, self.max_concurrent, "gather")
         span.end(bytes=moved)
         return moved

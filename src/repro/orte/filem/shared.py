@@ -59,3 +59,9 @@ class SharedFILEM(FILEMComponent):
         # Nothing was staged on node-local disks.
         yield Delay(0.0)
         return 0
+
+    def stage_out(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        # Snapshots were written directly at their final location;
+        # verify presence, nothing to move and nothing to clean up.
+        moved = yield from self.gather(hnp, entries)
+        return moved

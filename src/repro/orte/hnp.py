@@ -29,7 +29,7 @@ from repro.orte.oob import (
     TAG_RESTART_REQUEST,
 )
 from repro.simenv.kernel import Queue, SimGen
-from repro.snapshot import GlobalSnapshotRef
+from repro.snapshot import GlobalSnapshotRef, parse_global_dirname
 from repro.util.errors import LaunchError, NetworkError, ReproError
 from repro.util.ids import ProcessName
 from repro.util.logging import get_logger
@@ -200,7 +200,14 @@ class HNP:
         try:
             job = self.universe.job(jobid)
             ref = yield from self.snapc.global_checkpoint(self, job, options)
-            reply = {"ok": True, "snapshot": ref.path, "interval": job.next_interval - 1}
+            # Parse the interval from the snapshot name itself —
+            # ``job.next_interval - 1`` races when checkpoints overlap.
+            parsed = parse_global_dirname(ref.path)
+            reply = {
+                "ok": True,
+                "snapshot": ref.path,
+                "interval": parsed[1] if parsed else None,
+            }
         except ReproError as exc:
             reply = {"ok": False, "error": str(exc)}
         try:

@@ -15,7 +15,6 @@ from repro.orte.job import ProcSpec
 from repro.orte.oob import TAG_LAUNCH, TAG_LAUNCH_ACK
 from repro.simenv.kernel import Delay, SimGen, WaitEvent, join_all
 from repro.util.errors import LaunchError, ReproError
-from repro.util.ids import daemon_name
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mca.registry import FrameworkRegistry
@@ -54,9 +53,11 @@ class PLMComponent(Component):
             try:
                 if self.per_node_cost_s:
                     yield Delay(self.per_node_cost_s)
-                index = int(node_name.replace("node", ""))
+                # Resolve the orted from the universe — node naming
+                # schemes are configurable, so the daemon address must
+                # not be derived from the node name string.
                 _, reply = yield from hnp.rml.rpc(
-                    daemon_name(index),
+                    hnp.universe.orted_for(node_name).proc.name,
                     TAG_LAUNCH,
                     {"specs": node_specs},
                     TAG_LAUNCH_ACK,

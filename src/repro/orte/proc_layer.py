@@ -116,6 +116,8 @@ class OrteProcLayer:
             "crs": meta.crs_component,
             "os_tag": meta.os_tag,
             "portable": meta.portable,
+            "kind": meta.kind,
+            "bytes": meta.written_bytes,
         }
 
     def _resolve_fs(self, kind: str):

@@ -9,12 +9,22 @@ Reproduces Figure 1's message flow:
   (the checkpoint notification threads);
 * **D/E** — completion notifications flow back up;
 * **F** — the global coordinator drives FILEM to aggregate the local
-  snapshots into the global snapshot on stable storage;
+  snapshots into the global snapshot on stable storage *while the
+  application resumes normal operation*: the request is answered and
+  the job returns to RUNNING as soon as D/E are in; the gather, local
+  cleanup, and metadata commit run in the background staging
+  coordinator (:mod:`repro.orte.snapc.staging`).  Callers who want the
+  old synchronous behaviour pass ``wait_stable``.
 * **A** — the global snapshot reference is returned to the requester.
 
 Section 5.1's veto rule is enforced before anything happens: if any
 process in the request is not checkpointable, the request fails and no
 process is affected.
+
+Incremental checkpointing rides the same flow: the staging coordinator
+plans each interval as full or delta (``snapc_full_interval_every``),
+the ranks are told which base interval to diff against, and the global
+metadata records the base-chain of directories a delta restart needs.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.mca.component import component_of
 from repro.mca.params import MCAParams
+from repro.opal.crs import chunks as chunkstore
 from repro.orte.job import AppSpec, JobState, ProcSpec
 from repro.orte.oob import (
     TAG_CKPT_ABORT,
@@ -33,13 +44,17 @@ from repro.orte.oob import (
     TAG_SNAPC_LOCAL_DONE,
 )
 from repro.orte.snapc.base import SNAPCComponent
+from repro.orte.snapc.staging import StagingCoordinator, StagingRecord
 from repro.simenv.kernel import Delay, WaitEvent, first_of, join_all
 from repro.snapshot import (
+    STAGE_COMMITTED,
+    STAGE_FAILED,
+    STAGE_STAGING,
     GlobalSnapshotMeta,
     GlobalSnapshotRef,
     global_snapshot_dirname,
+    parse_global_dirname,
     read_global_meta,
-    write_global_meta,
 )
 from repro.util.errors import (
     CheckpointError,
@@ -47,7 +62,7 @@ from repro.util.errors import (
     NotCheckpointableError,
     RestartError,
 )
-from repro.util.ids import ProcessName, daemon_name
+from repro.util.ids import ProcessName
 from repro.util.logging import get_logger
 from repro.vfs import path as vpath
 
@@ -63,9 +78,30 @@ SNAPSHOT_ROOT = "/snapshots"
 LOCAL_STAGING_ROOT = "/ckpt"
 RESTART_STAGING_ROOT = "/restart"
 
+#: request options consumed by the coordinator, not forwarded to ranks
+_COORDINATOR_OPTIONS = ("wait_stable",)
+
 
 @component_of("snapc", "full", priority=10)
 class FullSNAPC(SNAPCComponent):
+    # ------------------------------------------------------------------
+    # Staging coordinator plumbing
+    # ------------------------------------------------------------------
+
+    def stager(self, hnp: "HNP") -> StagingCoordinator:
+        """The per-HNP background staging coordinator (lazily built)."""
+        stager = getattr(self, "_stager", None)
+        if stager is None or stager.hnp is not hnp:
+            stager = StagingCoordinator(self, hnp)
+            self._stager = stager
+        return stager
+
+    @staticmethod
+    def _daemon_for(hnp: "HNP", node_name: str) -> ProcessName:
+        """Resolve a node's orted address from the universe, not the
+        node's name string (node naming schemes are configurable)."""
+        return hnp.universe.orted_for(node_name).proc.name
+
     # ------------------------------------------------------------------
     # Global coordinator (runs in mpirun)
     # ------------------------------------------------------------------
@@ -92,6 +128,20 @@ class FullSNAPC(SNAPCComponent):
                 )
             yield Delay(grace / 10)
 
+        stager = self.stager(hnp)
+        terminate = bool(options.get("terminate", False))
+        wait_stable = bool(options.get("wait_stable", False))
+
+        # Backpressure: a bounded number of intervals may be staging at
+        # once; block here — before the application is disturbed —
+        # until the pipeline has room.
+        yield from stager.acquire_slot(job.jobid)
+        if job.state != JobState.RUNNING:
+            stager.release_slot(job.jobid)
+            raise CheckpointError(
+                f"job {job.jobid} is {job.state.value}, cannot checkpoint"
+            )
+
         interval = job.next_interval
         job.next_interval += 1
         job.state = JobState.CHECKPOINTING
@@ -100,7 +150,6 @@ class FullSNAPC(SNAPCComponent):
             "snapc.checkpoint", cat="snapc", jobid=job.jobid,
             interval=interval, np=job.np,
         )
-        terminate = bool(options.get("terminate", False))
         job.halting = terminate
         stable = hnp.universe.cluster.stable_fs
         global_dir = vpath.join(
@@ -109,6 +158,15 @@ class FullSNAPC(SNAPCComponent):
         stable.mkdir(global_dir)
         ref = GlobalSnapshotRef(global_dir)
         direct_stable = hnp.filem.wants_direct_stable
+
+        # Full or delta?  The staging coordinator owns the chain state.
+        plan = stager.plan_interval(job.jobid)
+        rank_options = {
+            k: v for k, v in options.items() if k not in _COORDINATOR_OPTIONS
+        }
+        if plan["kind"] == chunkstore.KIND_DELTA:
+            rank_options["incremental"] = True
+            rank_options["base_interval"] = plan["base_interval"]
 
         # Fan out to the local coordinators, one RPC per involved node.
         by_node: dict[str, list[int]] = {}
@@ -119,18 +177,34 @@ class FullSNAPC(SNAPCComponent):
         errors: list[str] = []
         abort_sent = {"done": False}
 
+        def abort_one(rank: int) -> "SimGen":
+            try:
+                yield from hnp.rml.send(
+                    ProcessName(job.jobid, rank), TAG_CKPT_ABORT, {}
+                )
+            except NetworkError:
+                pass
+            return None
+
         def broadcast_abort() -> "SimGen":
-            """One rank vetoed mid-flight: release everyone else."""
+            """One rank vetoed mid-flight: release everyone else.
+
+            The sends fan out concurrently — a sequential loop would
+            serialize OOB latency across np ranks while vetoed
+            processes sit blocked.
+            """
             if abort_sent["done"]:
                 return None
             abort_sent["done"] = True
-            for rank in range(job.np):
-                try:
-                    yield from hnp.rml.send(
-                        ProcessName(job.jobid, rank), TAG_CKPT_ABORT, {}
-                    )
-                except NetworkError:
-                    continue
+            abort_events = [
+                hnp.proc.spawn_thread(
+                    abort_one(rank), name=f"snapc-abort-{rank}", daemon=True
+                ).done
+                for rank in range(job.np)
+            ]
+            yield WaitEvent(
+                join_all(abort_events, hnp.proc.kernel, name="snapc.abort")
+            )
             return None
 
         def contact(node_name: str, ranks: list[int]) -> "SimGen":
@@ -148,10 +222,9 @@ class FullSNAPC(SNAPCComponent):
                             f"rank{rank}",
                         ),
                     }
-            index = int(node_name.replace("node", ""))
             try:
                 _, reply = yield from hnp.rml.rpc(
-                    daemon_name(index),
+                    self._daemon_for(hnp, node_name),
                     TAG_SNAPC_LOCAL,
                     {
                         "jobid": job.jobid,
@@ -159,7 +232,7 @@ class FullSNAPC(SNAPCComponent):
                         "ranks": ranks,
                         "targets": targets,
                         "terminate": terminate,
-                        "options": dict(options),
+                        "options": dict(rank_options),
                     },
                     TAG_SNAPC_LOCAL_DONE,
                 )
@@ -201,29 +274,27 @@ class FullSNAPC(SNAPCComponent):
             job.halting = False
             if job.state == JobState.CHECKPOINTING:
                 job.state = JobState.RUNNING
+            stager.release_slot(job.jobid)
             ckpt_span.end(ok=False)
             raise CheckpointError(
                 f"checkpoint of job {job.jobid} failed: "
                 + "; ".join(errors or ["missing local snapshots"])
             )
 
-        # Figure 1-F: aggregate local snapshots onto stable storage
-        # while the application resumes normal operation.
-        if not direct_stable:
-            gather_entries = [
-                (results[rank]["node"], results[rank]["path"], ref.local_dir(rank))
-                for rank in sorted(results)
-            ]
-            yield from hnp.filem.gather(hnp, gather_entries)
-            # Remove the staged local copies.
-            yield from hnp.filem.remove(
-                hnp,
-                [(results[r]["node"], results[r]["path"]) for r in sorted(results)],
-            )
+        # A delta interval where every rank fell back to a full image
+        # (cold or mismatched chunk caches, e.g. after an aborted
+        # attempt) is recorded as full so the chain does not grow.
+        if plan["kind"] == chunkstore.KIND_DELTA and all(
+            r.get("kind", chunkstore.KIND_FULL) == chunkstore.KIND_FULL
+            for r in results.values()
+        ):
+            plan = {
+                "kind": chunkstore.KIND_FULL,
+                "base_interval": None,
+                "base_chain": [],
+                "compact": False,
+            }
 
-        meta_span = tracer.begin(
-            "snapc.meta", cat="snapc", jobid=job.jobid, interval=interval
-        )
         meta = GlobalSnapshotMeta(
             jobid=job.jobid,
             interval=interval,
@@ -240,22 +311,63 @@ class FullSNAPC(SNAPCComponent):
                     "os_tag": results[rank]["os_tag"],
                     "portable": results[rank].get("portable", True),
                     "last_rank": rank,
+                    "kind": results[rank].get("kind", chunkstore.KIND_FULL),
+                    "bytes": results[rank].get("bytes", 0),
                 }
                 for rank in sorted(results)
             },
+            kind=plan["kind"],
+            base_interval=plan["base_interval"],
+            base_chain=list(plan["base_chain"]),
+            staging={
+                "state": STAGE_STAGING,
+                "committed_sim_time": None,
+                "error": None,
+            },
         )
-        yield from write_global_meta(stable, ref, meta)
-        meta_span.end()
-        ckpt_span.end(ok=True)
-        job.snapshots.append(ref)
+        # For ``shared`` FILEM the snapshots already sit at their final
+        # location, so every entry short-circuits the gather (src ==
+        # dst, already complete) — the degenerate metadata check.
+        gather_entries = [
+            (results[rank]["node"], results[rank]["path"], ref.local_dir(rank))
+            for rank in sorted(results)
+        ]
+        record = StagingRecord(
+            jobid=job.jobid,
+            interval=interval,
+            ref=ref,
+            meta=meta,
+            kind=plan["kind"],
+            base_chain=list(plan["base_chain"]),
+            compact=plan["compact"],
+            gather_entries=gather_entries,
+            terminate=terminate,
+            done=hnp.proc.kernel.event(
+                f"snapc.commit.job{job.jobid}.{interval}"
+            ),
+            enqueued_at=hnp.proc.kernel.now,
+        )
+        # Figure 1-F: the application resumes normal operation NOW; the
+        # aggregation runs in the background staging worker (our slot
+        # transfers to the record and is released when it settles).
+        stager.dispatch(record)
+        ckpt_span.end(ok=True, kind=plan["kind"])
         if not terminate and job.state == JobState.CHECKPOINTING:
             job.state = JobState.RUNNING
         log.info(
-            "job %d checkpoint interval %d complete -> %s",
+            "job %d checkpoint interval %d (%s) local phase complete -> %s",
             job.jobid,
             interval,
+            plan["kind"],
             ref.path,
         )
+        if wait_stable:
+            state = yield from stager.wait_settled(record)
+            if state != STAGE_COMMITTED:
+                raise CheckpointError(
+                    f"checkpoint of job {job.jobid} interval {interval} "
+                    f"failed to reach stable storage: {record.error}"
+                )
         return ref
 
     # ------------------------------------------------------------------
@@ -267,7 +379,30 @@ class FullSNAPC(SNAPCComponent):
 
         universe = hnp.universe
         stable = universe.cluster.stable_fs
+
+        # Restart of an interval must wait for its commit: if the
+        # requested snapshot is still staging in this coordinator,
+        # block until it settles (and fail if it failed).
+        stager = self.stager(hnp)
+        parsed = parse_global_dirname(ref.path)
+        if parsed is not None:
+            record = stager.record_for(*parsed)
+            if record is not None:
+                yield from stager.wait_committed(record)
+
         meta = yield from read_global_meta(stable, ref)
+        staging = meta.staging or {}
+        if staging.get("state") == STAGE_FAILED:
+            raise RestartError(
+                f"snapshot {ref.path} never reached stable storage: "
+                f"{staging.get('error') or 'staging failed'}"
+            )
+        if staging.get("state") == STAGE_STAGING:
+            # No live record (the coordinating HNP is gone) and the
+            # metadata says the aggregation never finished.
+            raise RestartError(
+                f"snapshot {ref.path} is incomplete (staging never committed)"
+            )
         if not has_app(meta.app_name):
             raise RestartError(
                 f"snapshot references unknown application {meta.app_name!r}"
@@ -286,19 +421,38 @@ class FullSNAPC(SNAPCComponent):
         )
         direct_stable = hnp.filem.wants_direct_stable
 
+        # A delta interval is restored from its base-chain: every
+        # directory the newest image depends on, oldest full first.
+        chain_dirs = [d for d in meta.base_chain if d != ref.path]
+        chain_dirs.append(ref.path)
+
         specs: list[ProcSpec] = []
         bcast_entries: list[tuple[str, str, str]] = []
         for rank in range(meta.n_procs):
             node_name = placements[rank]
-            src_dir = meta.locals[rank]["path"]
+            rank_chain = [vpath.join(d, f"rank{rank}") for d in chain_dirs]
             if direct_stable:
-                restart_from = {"fs": "stable", "dir": src_dir}
+                restart_from = {
+                    "fs": "stable",
+                    "dir": rank_chain[-1],
+                    "chain": rank_chain,
+                }
             else:
-                dst_dir = vpath.join(
-                    RESTART_STAGING_ROOT, f"job{job.jobid}", f"rank{rank}"
-                )
-                bcast_entries.append((node_name, src_dir, dst_dir))
-                restart_from = {"fs": "local", "dir": dst_dir}
+                local_chain = []
+                for part, src_dir in enumerate(rank_chain):
+                    dst_dir = vpath.join(
+                        RESTART_STAGING_ROOT,
+                        f"job{job.jobid}",
+                        f"rank{rank}",
+                        f"part{part}",
+                    )
+                    bcast_entries.append((node_name, src_dir, dst_dir))
+                    local_chain.append(dst_dir)
+                restart_from = {
+                    "fs": "local",
+                    "dir": local_chain[-1],
+                    "chain": local_chain,
+                }
             specs.append(
                 ProcSpec(
                     jobid=job.jobid,

@@ -1,0 +1,401 @@
+"""Background staging coordinator for SNAPC ``full`` (Figure 1-F).
+
+The paper says the global coordinator aggregates local snapshots onto
+stable storage *while the application resumes normal operation*.  This
+module makes that true: once every local snapshot is written and the
+D/E notifications are back, the checkpoint request is answered and the
+job returns to RUNNING; the FILEM gather, local-staging cleanup, and
+global-metadata commit run here, in a per-job background worker inside
+the HNP.
+
+Lifecycle of one interval (a :class:`StagingRecord`):
+
+``STAGING`` (enqueued, metadata persisted with ``staging.state =
+"staging"``) → ``COMMITTED`` (all local snapshots on stable storage,
+metadata rewritten, the interval appended to ``job.snapshots``) or
+``FAILED`` (a source node died mid-stage and retries were exhausted —
+the application is never touched; the interval is simply not usable
+and the next checkpoint is forced to a full image).
+
+Ordering and backpressure: one worker per job drains a FIFO queue, so
+intervals commit in request order; at most ``snapc_full_stage_depth``
+intervals may be in flight (queued or staging), and a new checkpoint
+request blocks — *before* the application is disturbed — until a slot
+frees up.
+
+The coordinator also owns the incremental-checkpoint planning state:
+which interval the next delta should diff against, the base-chain of
+global directories a delta interval depends on, full-image cadence
+(``snapc_full_interval_every``), and chain-length compaction
+(``snapc_full_max_chain`` — when a chain would grow past the bound the
+newest interval is rewritten as a full image on stable storage during
+its commit, resetting the chain without touching the application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.opal.crs import chunks as chunkstore
+from repro.simenv.kernel import SimGen, WaitEvent
+from repro.snapshot import (
+    IMAGE_FILE,
+    LOCAL_META,
+    STAGE_COMMITTED,
+    STAGE_FAILED,
+    STAGE_STAGING,
+    GlobalSnapshotMeta,
+    GlobalSnapshotRef,
+    write_global_meta,
+)
+from repro.util.errors import NetworkError, RestartError, VFSError
+from repro.util.logging import get_logger
+from repro.vfs import path as vpath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+    from repro.orte.job import Job
+    from repro.orte.snapc.full import FullSNAPC
+    from repro.simenv.kernel import Kernel, Queue, SimEvent
+
+log = get_logger("orte.snapc.stage")
+
+
+@dataclass
+class StagingRecord:
+    """One interval's journey from local snapshots to stable storage."""
+
+    jobid: int
+    interval: int
+    ref: GlobalSnapshotRef
+    meta: GlobalSnapshotMeta
+    #: "full" or "delta" (what the ranks were asked to write)
+    kind: str
+    #: global snapshot dirs this interval depends on (oldest first)
+    base_chain: list[str]
+    #: rewrite this interval as a full image during commit
+    compact: bool
+    #: FILEM work: (node_name, local_src_dir, stable_dst_dir); empty
+    #: when snapshots were written directly to stable storage
+    gather_entries: list[tuple[str, str, str]]
+    terminate: bool
+    done: "SimEvent"
+    enqueued_at: float
+    state: str = STAGE_STAGING
+    error: str | None = None
+    bytes_moved: int = 0
+    committed_at: float | None = None
+
+    @property
+    def settled(self) -> bool:
+        return self.state != STAGE_STAGING
+
+
+@dataclass
+class _JobStaging:
+    """Per-job staging pipeline state."""
+
+    jobid: int
+    queue: "Queue"
+    slot_event: "SimEvent"
+    inflight: int = 0
+    worker_started: bool = False
+    records: dict[int, StagingRecord] = field(default_factory=dict)
+    #: global dirs whose staging failed — anything chained on them is doomed
+    failed_dirs: set[str] = field(default_factory=set)
+    #: next checkpoint must be a full image (set after a staging failure)
+    force_full: bool = False
+    #: delta intervals dispatched since the last full one
+    since_full: int = 0
+    #: global dirs since the last full interval, oldest (the full) first
+    chain_dirs: list[str] = field(default_factory=list)
+    #: last interval whose local snapshots were successfully written
+    last_interval: int | None = None
+
+
+class StagingCoordinator:
+    """Per-HNP owner of the background staging pipeline."""
+
+    def __init__(self, snapc: "FullSNAPC", hnp: "HNP"):
+        self.snapc = snapc
+        self.hnp = hnp
+        params = snapc.params
+        self.depth = max(1, params.get_int("snapc_full_stage_depth", 2))
+        self.retries = max(0, params.get_int("snapc_full_stage_retries", 1))
+        self.every = max(1, params.get_int("snapc_full_interval_every", 1))
+        self.max_chain = max(1, params.get_int("snapc_full_max_chain", 4))
+        self._jobs: dict[int, _JobStaging] = {}
+
+    @property
+    def _kernel(self) -> "Kernel":
+        return self.hnp.proc.kernel
+
+    def _state(self, jobid: int) -> _JobStaging:
+        st = self._jobs.get(jobid)
+        if st is None:
+            st = _JobStaging(
+                jobid=jobid,
+                queue=self._kernel.queue(f"snapc.stage.job{jobid}"),
+                slot_event=self._kernel.event(f"snapc.stage.slot.job{jobid}"),
+            )
+            self._jobs[jobid] = st
+        return st
+
+    # -- backpressure --------------------------------------------------------
+
+    def acquire_slot(self, jobid: int) -> SimGen:
+        """Block until fewer than ``depth`` intervals are in flight."""
+        st = self._state(jobid)
+        while st.inflight >= self.depth:
+            yield WaitEvent(st.slot_event)
+        st.inflight += 1
+        return None
+
+    def release_slot(self, jobid: int) -> None:
+        """Give a slot back without dispatching (aborted checkpoint)."""
+        st = self._state(jobid)
+        st.inflight = max(0, st.inflight - 1)
+        self._fire_slot(st)
+
+    def _fire_slot(self, st: _JobStaging) -> None:
+        old, st.slot_event = st.slot_event, self._kernel.event(
+            f"snapc.stage.slot.job{st.jobid}"
+        )
+        if not old.fired:
+            old.fire(None)
+
+    # -- incremental planning ------------------------------------------------
+
+    def plan_interval(self, jobid: int) -> dict:
+        """Decide full vs delta for the next interval (no state change).
+
+        Returns ``{"kind", "base_interval", "base_chain", "compact"}``.
+        """
+        st = self._state(jobid)
+        incremental = (
+            self.every > 1
+            and st.last_interval is not None
+            and not st.force_full
+            and st.since_full < self.every - 1
+            and bool(st.chain_dirs)
+        )
+        if not incremental:
+            return {
+                "kind": chunkstore.KIND_FULL,
+                "base_interval": None,
+                "base_chain": [],
+                "compact": False,
+            }
+        return {
+            "kind": chunkstore.KIND_DELTA,
+            "base_interval": st.last_interval,
+            "base_chain": list(st.chain_dirs),
+            "compact": len(st.chain_dirs) + 1 > self.max_chain,
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, record: StagingRecord) -> None:
+        """Hand a fanned-out interval to the background worker.
+
+        The caller's backpressure slot transfers to the record; the
+        worker releases it when the interval settles.
+        """
+        st = self._state(record.jobid)
+        st.records[record.interval] = record
+        st.last_interval = record.interval
+        if record.kind == chunkstore.KIND_FULL or record.compact:
+            st.since_full = 0
+            st.chain_dirs = [record.ref.path]
+            st.force_full = False
+        else:
+            st.since_full += 1
+            st.chain_dirs.append(record.ref.path)
+        st.queue.put(record)
+        if not st.worker_started:
+            st.worker_started = True
+            self.hnp.proc.spawn_thread(
+                self._worker(st), name=f"snapc-stage-job{record.jobid}",
+                daemon=True,
+            )
+
+    # -- lookup (restart / tools) ----------------------------------------------
+
+    def record_for(self, jobid: int, interval: int) -> StagingRecord | None:
+        st = self._jobs.get(jobid)
+        return st.records.get(interval) if st is not None else None
+
+    def wait_settled(self, record: StagingRecord) -> SimGen:
+        """Block until *record* commits or fails; returns its state."""
+        if not record.settled:
+            yield WaitEvent(record.done)
+        return record.state
+
+    def wait_committed(self, record: StagingRecord) -> SimGen:
+        """Block until commit; raises :class:`RestartError` on failure."""
+        state = yield from self.wait_settled(record)
+        if state != STAGE_COMMITTED:
+            raise RestartError(
+                f"snapshot {record.ref.path} never reached stable storage: "
+                f"{record.error or 'staging failed'}"
+            )
+        return record
+
+    def _write_meta(self, record: StagingRecord) -> SimGen:
+        span = self._kernel.tracer.begin(
+            "snapc.meta", cat="snapc", jobid=record.jobid,
+            interval=record.interval,
+        )
+        yield from write_global_meta(
+            self.hnp.universe.cluster.stable_fs, record.ref, record.meta
+        )
+        span.end(state=record.meta.staging.get("state"))
+
+    # -- the worker ------------------------------------------------------------
+
+    def _worker(self, st: _JobStaging) -> SimGen:
+        while True:
+            record = yield from st.queue.get()
+            try:
+                yield from self._stage_one(st, record)
+            finally:
+                st.inflight = max(0, st.inflight - 1)
+                self._fire_slot(st)
+
+    def _stage_one(self, st: _JobStaging, record: StagingRecord) -> SimGen:
+        hnp = self.hnp
+        span = self._kernel.tracer.begin(
+            "snapc.stage", cat="snapc", jobid=record.jobid,
+            interval=record.interval, kind=record.kind,
+            entries=len(record.gather_entries),
+        )
+        # Persist the in-flight state first so the interval is never
+        # observable as stable before it is.
+        record.meta.staging = {
+            "state": STAGE_STAGING,
+            "committed_sim_time": None,
+            "error": None,
+        }
+        yield from self._write_meta(record)
+
+        error: str | None = None
+        if any(d in st.failed_dirs for d in record.base_chain):
+            error = "a base interval of this delta failed to stage"
+        else:
+            error = yield from self._gather_with_retry(record)
+
+        if error is None and record.compact:
+            try:
+                yield from self._compact(record)
+            except (VFSError, RestartError) as exc:
+                error = f"compaction failed: {exc}"
+
+        if error is None:
+            record.meta.staging = {
+                "state": STAGE_COMMITTED,
+                "committed_sim_time": self._kernel.now,
+                "error": None,
+            }
+            yield from self._write_meta(record)
+            record.state = STAGE_COMMITTED
+            record.committed_at = self._kernel.now
+            job = hnp.universe.jobs.get(record.jobid)
+            if job is not None:
+                job.snapshots.append(record.ref)
+            log.info(
+                "job %d interval %d committed to stable storage (%s, %d bytes)",
+                record.jobid, record.interval, record.kind, record.bytes_moved,
+            )
+        else:
+            record.meta.staging = {
+                "state": STAGE_FAILED,
+                "committed_sim_time": None,
+                "error": error,
+            }
+            try:
+                yield from self._write_meta(record)
+            except VFSError:
+                pass  # stable storage itself is gone; the record still knows
+            record.state = STAGE_FAILED
+            record.error = error
+            st.failed_dirs.add(record.ref.path)
+            st.force_full = True
+            log.warning(
+                "job %d interval %d failed to stage: %s",
+                record.jobid, record.interval, error,
+            )
+        span.end(ok=error is None, bytes=record.bytes_moved)
+        if not record.done.fired:
+            record.done.fire(record.state)
+        return None
+
+    def _gather_with_retry(self, record: StagingRecord) -> SimGen:
+        """Move local snapshots to stable storage; returns error or None.
+
+        Retries skip entries already completely staged (their
+        ``metadata.json`` — the last file a tree copy writes — is on
+        stable storage), so a node that dies *after* its transfer only
+        costs the retry of the others.
+        """
+        if not record.gather_entries:
+            return None
+        stable = self.hnp.universe.cluster.stable_fs
+        last_error: str | None = None
+        for _attempt in range(self.retries + 1):
+            pending = [
+                e for e in record.gather_entries
+                if not stable.exists(vpath.join(e[2], LOCAL_META))
+            ]
+            if not pending:
+                return None
+            try:
+                moved = yield from self.hnp.filem.stage_out(self.hnp, pending)
+                record.bytes_moved += int(moved or 0)
+            except (VFSError, NetworkError) as exc:
+                last_error = str(exc)
+                continue
+            missing = [
+                e for e in record.gather_entries
+                if not stable.exists(vpath.join(e[2], LOCAL_META))
+            ]
+            if not missing:
+                return None
+            last_error = (
+                f"{len(missing)} local snapshot(s) missing after gather"
+            )
+        return last_error or "gather failed"
+
+    def _compact(self, record: StagingRecord) -> SimGen:
+        """Rewrite a committed-to-be delta interval as a full image.
+
+        Runs entirely on stable storage: reconstruct each rank's image
+        from its chain, write ``image.pkl`` plus a full manifest into
+        the interval's own directory, and drop the chain from the
+        metadata.  Restart of this interval then needs no other
+        directory, bounding chain length at ``snapc_full_max_chain``.
+        """
+        stable = self.hnp.universe.cluster.stable_fs
+        chain = [d for d in record.base_chain if d != record.ref.path]
+        chain.append(record.ref.path)
+        for rank in sorted(record.meta.locals):
+            dirs = [vpath.join(d, f"rank{rank}") for d in chain]
+            blob, manifest = yield from chunkstore.reconstruct_chain(
+                stable, dirs, IMAGE_FILE
+            )
+            dst = record.ref.local_dir(rank)
+            yield from stable.write(vpath.join(dst, IMAGE_FILE), blob)
+            if manifest is not None:
+                yield from chunkstore.write_full_manifest(
+                    stable, dst, manifest.chunk_bytes, len(blob),
+                    manifest.hashes, record.interval,
+                )
+        record.kind = chunkstore.KIND_FULL
+        record.meta.kind = chunkstore.KIND_FULL
+        record.meta.base_interval = None
+        record.meta.base_chain = []
+        log.info(
+            "job %d interval %d compacted to a full image (chain was %d long)",
+            record.jobid, record.interval, len(chain),
+        )
+        return None

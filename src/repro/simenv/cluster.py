@@ -29,7 +29,10 @@ class ClusterSpec:
     mem_bytes: int = 4 * 2**30
     seed: int = 20070326  # IPPS 2007, Long Beach
     with_infiniband: bool = True
-    local_disk_Bps: float = 80e6
+    #: node-local scratch is at least as fast as one client's share of
+    #: the RAID — the premise that makes staged (local-write, then
+    #: background drain) checkpointing attractive
+    local_disk_Bps: float = 240e6
     stable_Bps: float = 200e6
     os_tags: list[str] = field(default_factory=list)
 

@@ -48,6 +48,12 @@ class LocalSnapshotMeta:
     portable: bool = True
     app_params: dict = field(default_factory=dict)
     files: list[str] = field(default_factory=list)
+    #: "full" or "delta" (incremental checkpointing)
+    kind: str = "full"
+    #: interval a delta image diffs against (None for full images)
+    base_interval: int | None = None
+    #: bytes physically written for this snapshot (full image or delta)
+    written_bytes: int = 0
 
     def to_json(self) -> bytes:
         return json.dumps(asdict(self), sort_keys=True, indent=1).encode()
@@ -59,6 +65,12 @@ class LocalSnapshotMeta:
             return cls(**data)
         except (ValueError, TypeError, KeyError) as exc:
             raise SnapshotError(f"bad local snapshot metadata: {exc}") from exc
+
+
+#: staging lifecycle states persisted in global snapshot metadata
+STAGE_STAGING = "staging"
+STAGE_COMMITTED = "committed"
+STAGE_FAILED = "failed"
 
 
 @dataclass
@@ -74,6 +86,22 @@ class GlobalSnapshotMeta:
     mca_params: dict = field(default_factory=dict)
     #: rank -> {"path": str, "node": str, "crs": str, "os_tag": str}
     locals: dict = field(default_factory=dict)
+    #: "full" or "delta" — delta intervals carry only changed chunks
+    kind: str = "full"
+    #: previous interval in the delta chain (None for full intervals)
+    base_interval: int | None = None
+    #: global snapshot dirs this interval depends on, oldest full first
+    #: (empty for full intervals)
+    base_chain: list = field(default_factory=list)
+    #: aggregation-to-stable-storage lifecycle of this interval
+    #: ({"state": staging|committed|failed, "committed_sim_time", "error"})
+    staging: dict = field(
+        default_factory=lambda: {
+            "state": STAGE_COMMITTED,
+            "committed_sim_time": None,
+            "error": None,
+        }
+    )
 
     def to_json(self) -> bytes:
         return json.dumps(asdict(self), sort_keys=True, indent=1).encode()
@@ -125,6 +153,19 @@ class GlobalSnapshotRef:
 def global_snapshot_dirname(jobid: int, interval: int) -> str:
     """Canonical global snapshot directory name."""
     return f"ompi_global_snapshot_{jobid}.{interval}"
+
+
+def parse_global_dirname(path: str) -> tuple[int, int] | None:
+    """``(jobid, interval)`` from a global snapshot path, or None."""
+    name = path.rstrip("/").rsplit("/", 1)[-1]
+    prefix = "ompi_global_snapshot_"
+    if not name.startswith(prefix):
+        return None
+    try:
+        jobid_s, interval_s = name[len(prefix):].split(".", 1)
+        return int(jobid_s), int(interval_s)
+    except ValueError:
+        return None
 
 
 # --------------------------------------------------------------------------

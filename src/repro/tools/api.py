@@ -146,15 +146,22 @@ def ompi_checkpoint(
     at: float | None = None,
     terminate: bool = False,
     wait: bool | None = None,
+    wait_stable: bool = False,
     **options,
 ) -> ToolHandle:
     """Checkpoint a running job.
 
     ``at=None`` fires now; ``wait`` defaults to True when firing now.
-    The reply carries the global snapshot reference path.
+    The reply carries the global snapshot reference path.  By default
+    the reply arrives as soon as every local snapshot is written and
+    the job has resumed; ``wait_stable=True`` restores the old
+    synchronous behaviour (reply only after the global snapshot is
+    committed to stable storage).
     """
     opts = dict(options)
     opts["terminate"] = terminate
+    if wait_stable:
+        opts["wait_stable"] = True
     handle = _launch_tool(
         universe,
         TAG_CKPT_REQUEST,

@@ -54,6 +54,12 @@ def main_run(argv=None) -> int:
 def main_checkpoint(argv=None) -> int:
     parser = _common_parser("Run a job and checkpoint it mid-flight.")
     parser.add_argument("--at", type=float, default=0.05, help="sim time of request")
+    parser.add_argument(
+        "--wait-stable",
+        action="store_true",
+        help="reply only after the snapshot is committed to stable "
+        "storage (old synchronous behaviour)",
+    )
     args = parser.parse_args(argv)
     universe = _universe(args.nodes)
     job = ompi_run(
@@ -63,7 +69,10 @@ def main_checkpoint(argv=None) -> int:
         args={"n_global": 256, "iters": 60000},
         wait=False,
     )
-    handle = ompi_checkpoint(universe, job.jobid, at=args.at, wait=False)
+    handle = ompi_checkpoint(
+        universe, job.jobid, at=args.at, wait=False,
+        wait_stable=args.wait_stable,
+    )
     universe.run_job_to_completion(job)
     reply = handle.result()
     if reply.get("ok"):
@@ -125,13 +134,18 @@ def main_migrate(argv=None) -> int:
         args={"n_global": 256, "iters": 60000},
         wait=False,
     )
-    target = next(
-        node.name for node in universe.cluster.nodes if node.name != args.vacate
-    )
+    node_names = [node.name for node in universe.cluster.nodes]
+    if args.vacate not in node_names:
+        print(f"unknown node {args.vacate!r}; cluster has {node_names}")
+        return 1
+    target = next(name for name in node_names if name != args.vacate)
+    # Ranks land on nodes round-robin by index; vacate by position in
+    # the cluster list rather than parsing the node name.
+    vacate_index = node_names.index(args.vacate)
     placement = {
         rank: target
         for rank in range(args.np)
-        if rank % args.nodes == int(args.vacate.replace("node", ""))
+        if rank % args.nodes == vacate_index
     }
     handle = ompi_migrate(universe, job.jobid, placement, at=args.at, wait=False)
     reply = handle.wait_stepped()
