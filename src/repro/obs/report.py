@@ -24,6 +24,8 @@ DEFAULT_PHASES = [
     "snapc.fanout",
     "snapc.meta",
     "snapc.stage",
+    "errmgr.detect",
+    "errmgr.recover",
 ]
 
 
@@ -100,4 +102,36 @@ def render_phase_report(
     counters = trace.get("counters") or {}
     for key in sorted(counters):
         lines.append(f"counter {key} = {counters[key]:g}")
+    return "\n".join(lines)
+
+
+def render_recovery_report(
+    records: list[dict], title: str = "recovery episodes"
+) -> str:
+    """Monospace table over recovery-episode dicts.
+
+    Accepts the dict shape of
+    :meth:`repro.orte.errmgr.RecoveryRecord.to_dict` (also embedded in
+    ``CampaignReport.recoveries`` and ``BENCH_E9.json``).
+    """
+    header = (
+        "failed".rjust(6) + "  " + "new".rjust(5) + "  "
+        + "attempts".rjust(8) + "  " + "latency (ms)".rjust(12) + "  "
+        + "lost (ms)".rjust(10) + "  " + "snapshot / error"
+    )
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for rec in records:
+        latency = rec.get("latency_s")
+        lost = rec.get("work_lost_s")
+        outcome = rec.get("snapshot") or rec.get("error") or "-"
+        lines.append(
+            f"{rec.get('failed_jobid', '?'):>6}  "
+            + f"{rec.get('new_jobid') if rec.get('new_jobid') is not None else '-':>5}  "
+            + f"{rec.get('attempts', 0):>8}  "
+            + (f"{latency * 1e3:>12.3f}  " if latency is not None else f"{'-':>12}  ")
+            + (f"{lost * 1e3:>10.3f}  " if lost is not None else f"{'-':>10}  ")
+            + str(outcome)
+        )
+    if not records:
+        lines.append("(no recovery episodes)")
     return "\n".join(lines)

@@ -30,6 +30,8 @@ span name              opened around
 ``filem.gather``       a whole gather operation
 ``filem.broadcast``    a whole broadcast operation
 ``inc.<layer>``        one layer's INC traversal (Figure 2 as data)
+``errmgr.detect``      failure detection + survivor/staging teardown
+``errmgr.recover``     one recovery attempt (snapshot pick → relaunch)
 =====================  ====================================================
 
 Disabled recorders hand out a shared :data:`NULL_SPAN` whose ``end`` is

@@ -1,27 +1,109 @@
-"""Error manager: failure detection and recovery policy.
+"""Error manager: failure detection and hardened recovery policy.
 
 The paper lists "automatic, transparent recovery" as an intended
-extension of the design; this module implements it as an optional
-policy.  With ``orte_errmgr_autorecover=1`` the HNP reacts to a rank or
-node failure by aborting the damaged job and restarting it from its
-most recent global snapshot on the surviving nodes — the workflow of
-the recovery integration tests and examples.
+extension of the design; this module implements it as a resilience
+subsystem rather than a one-shot gesture.  With
+``orte_errmgr_autorecover=1`` the HNP reacts to a rank or node failure
+by aborting the damaged job (and its in-flight staging pipeline) and
+restarting it from a usable global snapshot on the surviving nodes.
+
+The recovery path itself tolerates faults (the failure mode Skjellum &
+Schafer call out for C/R libraries):
+
+* **Bounded, backoff-paced retry** — a lineage (the original job plus
+  every job recovered from it) gets ``orte_errmgr_max_recoveries``
+  restart attempts total; retries after a failed attempt are paced by
+  an exponential backoff starting at ``orte_errmgr_backoff`` simulated
+  seconds.
+* **Node death during recovery** — a node dying while the restart is
+  in flight fails that attempt; the next attempt re-plans placement,
+  which only ever uses nodes that are still up.
+* **Snapshot walk-back** — the newest entry of ``job.snapshots`` may
+  be unusable (staging aborted, failed, or a delta whose base chain
+  broke); recovery walks back to the newest COMMITTED interval whose
+  base chain is intact on stable storage, verifying the persisted
+  metadata rather than trusting in-memory state.
+* **Recovered jobs are seeded** — a restarted job begins life with the
+  snapshot it came from (and its committed ancestors) as its recovery
+  baseline, so a re-failure before its first checkpoint still has
+  something to recover to.
+
+Detection and recovery are traced as ``errmgr.detect`` /
+``errmgr.recover`` spans when the observability layer is enabled.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.orte.job import Job, JobState
-from repro.simenv.kernel import SimGen
-from repro.util.errors import ReproError
+from repro.simenv.kernel import Delay, SimGen
+from repro.snapshot import (
+    STAGE_COMMITTED,
+    GlobalSnapshotRef,
+    parse_global_dirname,
+    read_global_meta,
+)
+from repro.util.errors import ReproError, RestartError, SnapshotError
 from repro.util.ids import ProcessName
 from repro.util.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orte.hnp import HNP
+    from repro.simenv.kernel import SimEvent
 
 log = get_logger("orte.errmgr")
+
+
+@dataclass
+class RecoveryRecord:
+    """The audit trail of one failure-to-recovery episode."""
+
+    failed_jobid: int
+    detected_at: float
+    new_jobid: int | None = None
+    recovered_at: float | None = None
+    #: restart attempts spent on this episode (>= 1 once recovery ran)
+    attempts: int = 0
+    #: snapshot the successful restart used
+    snapshot: str | None = None
+    #: sim time that snapshot's image was captured (work-lost baseline)
+    snapshot_sim_time: float | None = None
+    #: why recovery gave up (None on success)
+    error: str | None = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.new_jobid is not None
+
+    @property
+    def latency_s(self) -> float | None:
+        """Detection to restarted-and-running."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.detected_at
+
+    @property
+    def work_lost_s(self) -> float | None:
+        """Progress rolled back: failure time minus snapshot capture."""
+        if self.snapshot_sim_time is None:
+            return None
+        return self.detected_at - self.snapshot_sim_time
+
+    def to_dict(self) -> dict:
+        return {
+            "failed_jobid": self.failed_jobid,
+            "new_jobid": self.new_jobid,
+            "detected_at": self.detected_at,
+            "recovered_at": self.recovered_at,
+            "attempts": self.attempts,
+            "snapshot": self.snapshot,
+            "snapshot_sim_time": self.snapshot_sim_time,
+            "latency_s": self.latency_s,
+            "work_lost_s": self.work_lost_s,
+            "error": self.error,
+        }
 
 
 class ErrMgr:
@@ -29,11 +111,30 @@ class ErrMgr:
 
     def __init__(self, hnp: "HNP"):
         self.hnp = hnp
-        self.autorecover = hnp.universe.params.get_bool(
-            "orte_errmgr_autorecover", False
+        params = hnp.universe.params
+        self.autorecover = params.get_bool("orte_errmgr_autorecover", False)
+        #: restart attempts allowed per job lineage
+        self.max_recoveries = max(
+            1, params.get_int("orte_errmgr_max_recoveries", 5)
+        )
+        #: base retry pacing (exponential: backoff, 2x, 4x, ...)
+        self.backoff = max(
+            0.0, params.get_float("orte_errmgr_backoff", 0.05)
         )
         #: jobs recovered: (failed_jobid, new_jobid)
         self.recoveries: list[tuple[int, int]] = []
+        #: one record per failure episode, recovered or not
+        self.recovery_log: list[RecoveryRecord] = []
+        #: recovered jobid -> the jobid it was recovered from
+        self._lineage: dict[int, int] = {}
+        #: lineage root -> restart attempts spent
+        self._attempts: dict[int, int] = {}
+        #: lineage roots with a recovery currently in flight
+        self._recovering: set[int] = set()
+        #: snapshot paths that failed a restart and must not be retried
+        self._bad_refs: set[str] = set()
+        #: failed jobid -> event fired with the successor Job (or None)
+        self._outcomes: dict[int, "SimEvent"] = {}
         hnp.universe.cluster.failures.on_failure(self._on_injected_failure)
 
     # -- detection -------------------------------------------------------------
@@ -41,28 +142,111 @@ class ErrMgr:
     def _on_injected_failure(self, description: str) -> None:
         """Failure-injector callback (runs synchronously in the kernel).
 
-        Node crashes kill the orted too, so no PROC_EXIT will arrive
-        for ranks on that node — this is the heartbeat-loss path.
+        ``node:`` injections kill the orted too, so no PROC_EXIT will
+        arrive for ranks on that node — the heartbeat-loss path.
+        ``process:`` injections are routed through the same rank-failure
+        policy rather than relying on the PROC_EXIT message surviving.
         """
-        if not description.startswith("node:"):
+        if not self.hnp.proc.alive:
             return
-        node_name = description.split(":", 1)[1]
-        for job in list(self.hnp.universe.jobs.values()):
+        kind, _, target = description.partition(":")
+        if kind == "node":
+            for job in list(self.hnp.universe.jobs.values()):
+                if job.is_done:
+                    continue
+                lost = [r for r, n in job.placements.items() if n == target]
+                if not lost:
+                    continue
+                self.hnp.proc.spawn_thread(
+                    self._handle_lost_ranks(job, lost, f"node {target} failed"),
+                    name=f"errmgr-node-{target}-job{job.jobid}",
+                    daemon=True,
+                )
+        elif kind == "process":
+            located = self._locate_rank(target)
+            if located is None:
+                return
+            job, rank = located
             if job.is_done:
-                continue
-            lost = [r for r, n in job.placements.items() if n == node_name]
-            if not lost:
-                continue
+                return
             self.hnp.proc.spawn_thread(
-                self._handle_lost_ranks(job, lost),
-                name=f"errmgr-node-{node_name}-job{job.jobid}",
+                self._handle_lost_ranks(job, [rank], "killed by injector"),
+                name=f"errmgr-proc-{target}",
                 daemon=True,
             )
 
-    def _handle_lost_ranks(self, job: Job, lost: list[int]) -> SimGen:
+    @staticmethod
+    def _parse_app_label(label: str) -> tuple[int, int] | None:
+        """``appJ.R`` -> ``(jobid, rank)``; None for daemons/tools."""
+        if not label.startswith("app"):
+            return None
+        try:
+            jobid_s, rank_s = label[3:].split(".", 1)
+            return int(jobid_s), int(rank_s)
+        except ValueError:
+            return None
+
+    def _locate_rank(self, label: str) -> tuple[Job, int] | None:
+        parsed = self._parse_app_label(label)
+        if parsed is None:
+            return None
+        job = self.hnp.universe.jobs.get(parsed[0])
+        if job is None:
+            return None
+        return job, parsed[1]
+
+    def _handle_lost_ranks(self, job: Job, lost: list[int], detail: str) -> SimGen:
         for rank in lost:
-            yield from self.on_rank_failure(job, rank, "node failure")
+            yield from self.on_rank_failure(job, rank, detail)
         return None
+
+    # -- lineage ---------------------------------------------------------------
+
+    def _root_of(self, job: Job) -> int:
+        """The original jobid of *job*'s recovery lineage.
+
+        Jobs created by ``ompi-restart`` (including half-launched
+        recovery attempts the error manager has not registered yet)
+        are folded into their ancestor's lineage via the jobid encoded
+        in the snapshot they restarted from.
+        """
+        jobid = job.jobid
+        if jobid not in self._lineage and job.restarted_from is not None:
+            parsed = parse_global_dirname(job.restarted_from.path)
+            if parsed is not None and parsed[0] != jobid:
+                self._lineage[jobid] = parsed[0]
+        seen: set[int] = set()
+        while jobid in self._lineage and jobid not in seen:
+            seen.add(jobid)
+            jobid = self._lineage[jobid]
+        return jobid
+
+    def is_recovering(self, job: Job) -> bool:
+        """True while *job*'s lineage has a recovery in flight."""
+        return self._root_of(job) in self._recovering
+
+    def attempts_spent(self, job: Job) -> int:
+        return self._attempts.get(self._root_of(job), 0)
+
+    # -- outcome plumbing --------------------------------------------------------
+
+    def recovery_outcome(self, jobid: int) -> "SimEvent":
+        """Event fired once failure handling of *jobid* settles.
+
+        Fires with the successor :class:`Job` when recovery succeeded,
+        or ``None`` when recovery was disabled, impossible, or
+        exhausted.  Campaign harnesses follow lineages with this.
+        """
+        event = self._outcomes.get(jobid)
+        if event is None:
+            event = self.hnp.proc.kernel.event(f"errmgr.outcome.job{jobid}")
+            self._outcomes[jobid] = event
+        return event
+
+    def _settle(self, jobid: int, successor: "Job | None") -> None:
+        event = self.recovery_outcome(jobid)
+        if not event.fired:
+            event.fire(successor)
 
     # -- policy ------------------------------------------------------------------
 
@@ -73,11 +257,34 @@ class ErrMgr:
         log.warning("job %d rank %d failed: %s", job.jobid, rank, detail)
         job.failed_ranks.add(rank)
         job.mark_failed()
-        if first_failure:
-            self._abort_survivors(job)
-            if self.autorecover and job.snapshots:
-                yield from self._autorecover(job)
+        if not first_failure:
+            return None
+        root = self._root_of(job)
+        span = self.hnp.proc.kernel.tracer.begin(
+            "errmgr.detect", cat="errmgr", jobid=job.jobid, rank=rank,
+            root=root, detail=str(detail),
+        )
+        # A dead job's staging pipeline must stop before anything else:
+        # the stager would otherwise keep draining its intervals and
+        # could append to job.snapshots after recovery has begun.
+        self._abort_staging(job)
+        self._abort_survivors(job)
+        in_recovery = root in self._recovering
+        span.end(recovering=in_recovery)
+        if in_recovery:
+            # The failure hit a half-recovered incarnation; the active
+            # recovery loop observes it as a failed attempt and retries.
+            return None
+        if self.autorecover and job.snapshots:
+            yield from self._autorecover(job, root)
+        else:
+            self._settle(job.jobid, None)
         return None
+
+    def _abort_staging(self, job: Job) -> None:
+        stager_fn = getattr(self.hnp.snapc, "stager", None)
+        if stager_fn is not None:
+            stager_fn(self.hnp).abort_job(job.jobid)
 
     def _abort_survivors(self, job: Job) -> None:
         """mpirun aborts the whole job on any rank failure (MPI default)."""
@@ -88,15 +295,152 @@ class ErrMgr:
             if proc is not None and proc.alive:
                 proc.kill(ReproError(f"job {job.jobid} aborted by errmgr"))
 
-    def _autorecover(self, job: Job) -> SimGen:
-        ref = job.snapshots[-1]
-        log.warning(
-            "autorecovering job %d from %s", job.jobid, ref.path
-        )
+    # -- recovery ----------------------------------------------------------------
+
+    def _autorecover(self, job: Job, root: int) -> SimGen:
+        kernel = self.hnp.proc.kernel
+        record = RecoveryRecord(failed_jobid=job.jobid, detected_at=kernel.now)
+        self.recovery_log.append(record)
+        self._recovering.add(root)
+        retry = 0
         try:
-            new_job = yield from self.hnp.snapc.global_restart(self.hnp, ref, {})
-        except ReproError as exc:
-            log.warning("autorecovery of job %d failed: %s", job.jobid, exc)
-            return None
-        self.recoveries.append((job.jobid, new_job.jobid))
+            while True:
+                spent = self._attempts.get(root, 0)
+                if spent >= self.max_recoveries:
+                    record.error = (
+                        f"recovery budget exhausted "
+                        f"({spent}/{self.max_recoveries} attempts)"
+                    )
+                    log.warning("job %d: %s", job.jobid, record.error)
+                    self._settle(job.jobid, None)
+                    return None
+                picked = yield from self._pick_snapshot(job)
+                if picked is None:
+                    record.error = (
+                        "no committed snapshot with an intact base chain"
+                    )
+                    log.warning("job %d: %s", job.jobid, record.error)
+                    self._settle(job.jobid, None)
+                    return None
+                ref, meta = picked
+                if retry:
+                    yield Delay(self.backoff * (2 ** (retry - 1)))
+                self._attempts[root] = spent + 1
+                record.attempts += 1
+                retry += 1
+                span = kernel.tracer.begin(
+                    "errmgr.recover", cat="errmgr", jobid=job.jobid,
+                    attempt=record.attempts, snapshot=ref.path,
+                )
+                log.warning(
+                    "autorecovering job %d from %s (attempt %d/%d)",
+                    job.jobid, ref.path, record.attempts, self.max_recoveries,
+                )
+                try:
+                    new_job = yield from self.hnp.snapc.global_restart(
+                        self.hnp, ref, {}
+                    )
+                except (RestartError, SnapshotError) as exc:
+                    # The snapshot itself is unusable (failed staging,
+                    # missing metadata, no compatible image): never try
+                    # it again; the next pass walks back past it.
+                    self._bad_refs.add(ref.path)
+                    span.end(ok=False, error=str(exc))
+                    log.warning(
+                        "recovery attempt from %s failed: %s", ref.path, exc
+                    )
+                    continue
+                except ReproError as exc:
+                    # Transient failure — typically another node dying
+                    # mid-restart.  Back off and retry: placement
+                    # re-plans over the nodes still up.
+                    span.end(ok=False, error=str(exc))
+                    log.warning(
+                        "recovery attempt of job %d failed: %s", job.jobid, exc
+                    )
+                    continue
+                span.end(ok=True, new_jobid=new_job.jobid)
+                self._lineage[new_job.jobid] = root
+                self.recoveries.append((job.jobid, new_job.jobid))
+                record.new_jobid = new_job.jobid
+                record.recovered_at = kernel.now
+                record.snapshot = ref.path
+                record.snapshot_sim_time = meta.sim_time
+                self._seed_baseline(job, new_job, ref)
+                self._settle(job.jobid, new_job)
+                log.warning(
+                    "job %d recovered as job %d (attempt %d)",
+                    job.jobid, new_job.jobid, record.attempts,
+                )
+                return new_job
+        finally:
+            self._recovering.discard(root)
+
+    def _pick_snapshot(self, job: Job) -> SimGen:
+        """Newest usable ``(ref, meta)`` from *job*'s snapshot list.
+
+        Walks ``job.snapshots`` newest-first, skipping refs that
+        already failed a restart, intervals whose persisted staging
+        state is not COMMITTED, and delta intervals whose base chain is
+        no longer intact on stable storage.  Returns None if nothing
+        survives.
+        """
+        stable = self.hnp.universe.cluster.stable_fs
+        for ref in list(reversed(job.snapshots)):
+            if ref.path in self._bad_refs:
+                continue
+            ok, meta = yield from self._verify_committed(stable, ref.path)
+            if not ok or meta is None:
+                log.warning(
+                    "job %d: snapshot %s is not committed; walking back",
+                    job.jobid, ref.path,
+                )
+                continue
+            intact = True
+            for dep in meta.base_chain:
+                if dep == ref.path:
+                    continue
+                dep_ok, _ = yield from self._verify_committed(stable, dep)
+                if not dep_ok:
+                    intact = False
+                    break
+            if intact:
+                return ref, meta
+            log.warning(
+                "job %d: snapshot %s has a broken base chain; walking back",
+                job.jobid, ref.path,
+            )
         return None
+
+    def _verify_committed(self, stable, path: str) -> SimGen:
+        """``(committed, meta)`` for a global snapshot directory."""
+        parsed = parse_global_dirname(path)
+        stager_fn = getattr(self.hnp.snapc, "stager", None)
+        if parsed is not None and stager_fn is not None:
+            live = stager_fn(self.hnp).record_for(*parsed)
+            if live is not None and live.state != STAGE_COMMITTED:
+                return False, None
+        try:
+            meta = yield from read_global_meta(stable, GlobalSnapshotRef(path))
+        except ReproError:
+            return False, None
+        staging = meta.staging or {}
+        state = staging.get("state", STAGE_COMMITTED)
+        return state == STAGE_COMMITTED, meta
+
+    @staticmethod
+    def _seed_baseline(old: Job, new_job: Job, ref: GlobalSnapshotRef) -> None:
+        """Give the recovered job the failed job's committed history.
+
+        ``global_restart`` already seeds the restarted-from ref and its
+        base chain; recovery knows more — every committed interval of
+        the failed lineage up to the one used — and hands the whole
+        prefix over so walk-back has depth on a re-failure.
+        """
+        try:
+            idx = old.snapshots.index(ref)
+        except ValueError:
+            return
+        prefix = list(old.snapshots[: idx + 1])
+        tail = [r for r in new_job.snapshots if r not in prefix]
+        new_job.snapshots = prefix + tail

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 
 from repro.orte.errmgr import ErrMgr
 from repro.orte.job import Job, JobState, ProcSpec
+from repro.orte.scheduler import CheckpointScheduler
 from repro.orte.oob import (
     RML,
     TAG_CKPT_READY,
@@ -53,6 +54,7 @@ class HNP:
         self.snapc = self.registry.framework("snapc").open(universe.params, context=self)
         self.filem = self.registry.framework("filem").open(universe.params, context=self)
         self.errmgr = ErrMgr(self)
+        self.ckpt_scheduler = CheckpointScheduler(self)
         #: jobid -> set of ranks registered checkpointable (section 5.1)
         self.ckpt_ready: dict[int, set[int]] = {}
         #: jobid -> queue of INIT_READY payloads
@@ -151,6 +153,9 @@ class HNP:
             )
         job.state = JobState.RUNNING
         self._init_queues.pop(job.jobid, None)
+        # Recovered jobs come through here too, so every incarnation
+        # keeps checkpointing on the configured cadence.
+        self.ckpt_scheduler.attach(job)
         return job
 
     # -- handlers ------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Periodic checkpoint scheduler — the HNP-side companion of recovery.
+
+Automatic recovery is only as good as the newest committed snapshot
+(CRAFT's observation: pair automatic restart with periodic
+checkpointing so there is always something recent to recover to).  With
+``snapc_full_checkpoint_every`` set to a positive number of simulated
+seconds, the HNP checkpoints every RUNNING job on that cadence without
+any tool process driving it.
+
+A tick is skipped — not queued — while the job is not RUNNING (a
+checkpoint is already in flight, the job is launching) or while its
+lineage has a recovery in flight; the next tick fires one period
+later.  Failed ticks (vetoed ranks, staging backpressure timeouts) are
+recorded and skipped the same way: the scheduler never aborts a job.
+
+Recovered jobs pass through :meth:`~repro.orte.hnp.HNP.launch_and_init`
+like any other launch, so they are re-attached automatically and keep
+checkpointing on the same cadence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.orte.job import Job, JobState
+from repro.simenv.kernel import Delay, SimGen
+from repro.util.errors import ReproError
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.hnp import HNP
+
+log = get_logger("orte.sched")
+
+
+class CheckpointScheduler:
+    """Per-HNP periodic checkpoint driver (one daemon loop per job)."""
+
+    def __init__(self, hnp: "HNP"):
+        self.hnp = hnp
+        self.every = hnp.universe.params.get_float(
+            "snapc_full_checkpoint_every", 0.0
+        )
+        #: successful ticks: (jobid, snapshot path)
+        self.taken: list[tuple[int, str]] = []
+        #: skipped/failed ticks: (jobid, reason)
+        self.skipped: list[tuple[int, str]] = []
+        self._attached: set[int] = set()
+
+    @property
+    def enabled(self) -> bool:
+        return self.every > 0
+
+    def attach(self, job: Job) -> None:
+        """Start (once) the periodic loop for *job*."""
+        if not self.enabled or job.jobid in self._attached:
+            return
+        if not self.hnp.proc.alive:
+            return
+        self._attached.add(job.jobid)
+        self.hnp.proc.spawn_thread(
+            self._loop(job), name=f"ckpt-sched-job{job.jobid}", daemon=True
+        )
+
+    def _loop(self, job: Job) -> SimGen:
+        while True:
+            yield Delay(self.every)
+            if job.is_done:
+                return None
+            if job.state != JobState.RUNNING:
+                self.skipped.append((job.jobid, f"job is {job.state.value}"))
+                continue
+            if self.hnp.errmgr.is_recovering(job):
+                self.skipped.append((job.jobid, "recovery in flight"))
+                continue
+            try:
+                ref = yield from self.hnp.snapc.global_checkpoint(
+                    self.hnp, job, {}
+                )
+            except ReproError as exc:
+                if job.is_done:
+                    return None
+                self.skipped.append((job.jobid, str(exc)))
+                log.info(
+                    "scheduled checkpoint of job %d skipped: %s",
+                    job.jobid, exc,
+                )
+                continue
+            self.taken.append((job.jobid, ref.path))
+            self.hnp.proc.kernel.tracer.count("snapc.scheduled_ckpts")

@@ -60,6 +60,7 @@ from repro.util.errors import (
     CheckpointError,
     NetworkError,
     NotCheckpointableError,
+    ReproError,
     RestartError,
 )
 from repro.util.ids import ProcessName
@@ -415,6 +416,13 @@ class FullSNAPC(SNAPCComponent):
             params.set(key, value)
         job = universe.create_job(app, meta.n_procs, params)
         job.restarted_from = ref
+        # Seed the new job's snapshot history with the interval it came
+        # from (preceded by the committed ancestors that interval
+        # depends on): a failure before the job's first own checkpoint
+        # then still has a recovery baseline to walk back through.
+        job.snapshots = [
+            GlobalSnapshotRef(d) for d in meta.base_chain if d != ref.path
+        ] + [ref]
 
         placements = self._plan_restart_placement(
             universe, meta, options.get("placement")
@@ -464,10 +472,17 @@ class FullSNAPC(SNAPCComponent):
             )
 
         # Preload checkpoint files on the target machines (section 5.2).
-        if bcast_entries:
-            yield from hnp.filem.broadcast(hnp, bcast_entries)
-
-        yield from hnp.launch_and_init(job, specs)
+        try:
+            if bcast_entries:
+                yield from hnp.filem.broadcast(hnp, bcast_entries)
+            yield from hnp.launch_and_init(job, specs)
+        except ReproError:
+            # A node dying mid-restart (during preload or launch) must
+            # not leave the half-built job PENDING/LAUNCHING forever —
+            # mark it failed so retrying recovery can re-plan placement.
+            job.mark_failed()
+            hnp.errmgr._abort_survivors(job)
+            raise
         log.info(
             "job %d restarted from %s as job %d", meta.jobid, ref.path, job.jobid
         )

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.opal.crs import chunks as chunkstore
+from repro.orte.job import JobState
 from repro.simenv.kernel import SimGen, WaitEvent
 from repro.snapshot import (
     IMAGE_FILE,
@@ -112,6 +113,8 @@ class _JobStaging:
     chain_dirs: list[str] = field(default_factory=list)
     #: last interval whose local snapshots were successfully written
     last_interval: int | None = None
+    #: the job failed; queued and in-flight intervals must not commit
+    aborted: bool = False
 
 
 class StagingCoordinator:
@@ -220,6 +223,62 @@ class StagingCoordinator:
                 daemon=True,
             )
 
+    # -- abort (error manager) -------------------------------------------------
+
+    def abort_job(self, jobid: int) -> None:
+        """Stop staging for a failed job (called by the error manager).
+
+        Queued (not yet started) intervals are failed immediately, and
+        no interval of an aborted job is ever appended to its
+        ``job.snapshots`` — recovery may already be walking that list.
+        The one interval already mid-gather is allowed to settle on its
+        own merits: its data predates the failure, so if the gather
+        succeeds its COMMITTED metadata remains valid for an explicit
+        ``ompi-restart``.
+        """
+        st = self._jobs.get(jobid)
+        if st is None or st.aborted:
+            return
+        st.aborted = True
+        st.force_full = True
+        while True:
+            ok, record = st.queue.try_get()
+            if not ok:
+                break
+            self._abort_record(st, record)
+            st.inflight = max(0, st.inflight - 1)
+            self._fire_slot(st)
+        log.warning("job %d staging pipeline aborted", jobid)
+
+    _ABORT_ERROR = "staging aborted: job failed"
+
+    def _abort_record(self, st: _JobStaging, record: StagingRecord) -> None:
+        record.meta.staging = {
+            "state": STAGE_FAILED,
+            "committed_sim_time": None,
+            "error": self._ABORT_ERROR,
+        }
+        record.state = STAGE_FAILED
+        record.error = self._ABORT_ERROR
+        st.failed_dirs.add(record.ref.path)
+        if not record.done.fired:
+            record.done.fire(record.state)
+        if not self.hnp.proc.alive:
+            return
+
+        def persist() -> SimGen:
+            try:
+                yield from self._write_meta(record)
+            except (VFSError, NetworkError):
+                pass
+            return None
+
+        self.hnp.proc.spawn_thread(
+            persist(),
+            name=f"snapc-stage-abort-{record.jobid}.{record.interval}",
+            daemon=True,
+        )
+
     # -- lookup (restart / tools) ----------------------------------------------
 
     def record_for(self, jobid: int, interval: int) -> StagingRecord | None:
@@ -301,7 +360,10 @@ class StagingCoordinator:
             record.state = STAGE_COMMITTED
             record.committed_at = self._kernel.now
             job = hnp.universe.jobs.get(record.jobid)
-            if job is not None:
+            # HALTED jobs (checkpoint-and-terminate) still collect their
+            # final commit; FAILED jobs must not — recovery may already
+            # be walking job.snapshots.
+            if job is not None and not st.aborted and job.state != JobState.FAILED:
                 job.snapshots.append(record.ref)
             log.info(
                 "job %d interval %d committed to stable storage (%s, %d bytes)",

@@ -24,8 +24,18 @@ from repro.simenv.process import SimProcess
 from repro.simenv.cluster import Cluster, ClusterSpec
 from repro.simenv.rng import RngStream
 from repro.simenv.failure import FailureInjector, FailureSchedule
+from repro.simenv.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    FaultCampaign,
+    run_campaign,
+)
 
 __all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "FaultCampaign",
+    "run_campaign",
     "Delay",
     "Kernel",
     "Queue",

@@ -1,0 +1,190 @@
+"""Fault-injection campaigns: cascading node crashes at a given MTBF.
+
+A campaign arms a Poisson process of node failures (inter-arrival times
+drawn from an exponential distribution, the standard failure model of
+the rollback-recovery literature) against a running universe, then
+follows a job's recovery lineage — original job, first restart, second
+restart, ... — until some incarnation finishes or the error manager
+gives up.  The resulting :class:`CampaignReport` carries the classic
+C/R tradeoff numbers: work lost to rollbacks, recovery latency, and
+effective progress, to be plotted against the checkpoint interval.
+
+Victims are drawn at *fire time* from the nodes still up (minus the
+HNP's node, which hosts the simulated mpirun and is not recoverable),
+so a cascading campaign never re-kills a dead node.  Everything is
+deterministic given the cluster seed and the campaign's RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.simenv.kernel import DeadlockError, SimGen, WaitEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.job import Job
+    from repro.orte.universe import Universe
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Shape of one fault-injection campaign."""
+
+    #: mean time between node failures (simulated seconds)
+    mtbf_s: float
+    #: stop injecting after this many crashes
+    max_failures: int = 2
+    #: earliest time the first failure may fire
+    start_at: float = 0.0
+    #: node names never crashed (the HNP's node is always excluded)
+    exclude_nodes: tuple[str, ...] = ()
+    #: stop injecting when this few eligible nodes would remain
+    min_survivors: int = 1
+    #: RNG stream name (deterministic per cluster seed)
+    stream: str = "campaign"
+
+
+@dataclass
+class CampaignReport:
+    """What happened: completion, failures, and recovery economics."""
+
+    completed: bool
+    final_jobid: int
+    final_state: str
+    #: sim time when the lineage settled (finished or gave up)
+    makespan_s: float
+    #: injected crashes: [{"at": sim_time, "node": name}]
+    failures: list = field(default_factory=list)
+    #: per-episode recovery audit (see RecoveryRecord.to_dict)
+    recoveries: list = field(default_factory=list)
+    #: successful restarts across the lineage
+    restarts: int = 0
+    #: total progress rolled back across all recoveries
+    work_lost_s: float = 0.0
+    #: total failure-detection-to-running latency
+    recovery_latency_s: float = 0.0
+    #: intervals that reached stable storage across the lineage
+    committed_checkpoints: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class FaultCampaign:
+    """Arms and re-arms exponential node crashes against a cluster."""
+
+    def __init__(self, universe: "Universe", spec: CampaignSpec):
+        self.universe = universe
+        self.spec = spec
+        self.failures: list[dict] = []
+        self.stopped = False
+        hnp_node = universe.cluster.nodes[0].name
+        self._exclude = tuple(set(spec.exclude_nodes) | {hnp_node})
+
+    def arm(self) -> None:
+        self._schedule(max(0.0, self.spec.start_at))
+
+    def stop(self) -> None:
+        """No further crashes (already-scheduled timers become no-ops)."""
+        self.stopped = True
+
+    def _schedule(self, base_delay: float = 0.0) -> None:
+        rng = self.universe.cluster.rng(self.spec.stream)
+        delay = base_delay + rng.exponential(self.spec.mtbf_s)
+        self.universe.kernel.call_later(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self.stopped or len(self.failures) >= self.spec.max_failures:
+            return
+        cluster = self.universe.cluster
+        eligible = [
+            n for n in cluster.up_nodes if n.name not in self._exclude
+        ]
+        if len(eligible) <= self.spec.min_survivors:
+            return
+        victim = cluster.failures.crash_random_up_node_now(
+            exclude=self._exclude, stream=self.spec.stream
+        )
+        if victim is None:
+            return
+        self.failures.append(
+            {"at": self.universe.kernel.now, "node": victim}
+        )
+        if len(self.failures) < self.spec.max_failures:
+            self._schedule()
+
+
+def follow_lineage(universe: "Universe", job: "Job") -> SimGen:
+    """Generator: block until *job*'s recovery lineage settles.
+
+    Returns the final incarnation — the job that FINISHED, or the last
+    FAILED one when recovery was exhausted or impossible.
+    """
+    from repro.orte.job import JobState
+
+    errmgr = universe.hnp.errmgr
+    current = job
+    while True:
+        state = yield from current.wait()
+        if state != JobState.FAILED:
+            return current
+        successor = yield WaitEvent(errmgr.recovery_outcome(current.jobid))
+        if successor is None:
+            return current
+        current = successor
+
+
+def run_campaign(
+    universe: "Universe", job: "Job", spec: CampaignSpec
+) -> CampaignReport:
+    """Drive the kernel through a campaign against *job*'s lineage."""
+    from repro.orte.job import JobState
+    from repro.snapshot import STAGE_COMMITTED
+
+    campaign = FaultCampaign(universe, spec)
+    campaign.arm()
+    marks: dict[str, float] = {}
+
+    def tracked() -> SimGen:
+        # Stamp the settle time from inside the simulation: kernel.now
+        # read after run_until_complete() would include whatever later
+        # campaign timers the final drain happened to process.
+        final = yield from follow_lineage(universe, job)
+        marks["settled_at"] = universe.kernel.now
+        return final
+
+    thread = universe.kernel.spawn(tracked(), name=f"campaign-job{job.jobid}")
+    final = universe.kernel.run_until_complete(thread)
+    makespan = marks.get("settled_at", universe.kernel.now)
+    campaign.stop()
+    try:
+        # Let in-flight background staging settle (disarmed campaign
+        # timers fire as no-ops during the drain).
+        universe.kernel.run()
+    except DeadlockError:
+        pass
+
+    errmgr = universe.hnp.errmgr
+    recovered = [r for r in errmgr.recovery_log if r.recovered]
+    committed = 0
+    stager_fn = getattr(universe.hnp.snapc, "stager", None)
+    if stager_fn is not None:
+        stager = stager_fn(universe.hnp)
+        for st in stager._jobs.values():
+            committed += sum(
+                1 for rec in st.records.values()
+                if rec.state == STAGE_COMMITTED
+            )
+    return CampaignReport(
+        completed=final.state == JobState.FINISHED,
+        final_jobid=final.jobid,
+        final_state=final.state.value,
+        makespan_s=makespan,
+        failures=list(campaign.failures),
+        recoveries=[r.to_dict() for r in errmgr.recovery_log],
+        restarts=len(errmgr.recoveries),
+        work_lost_s=sum(r.work_lost_s or 0.0 for r in recovered),
+        recovery_latency_s=sum(r.latency_s or 0.0 for r in recovered),
+        committed_checkpoints=committed,
+    )

@@ -88,6 +88,26 @@ class FailureInjector:
             if target is not None:
                 self.kill_process_at(at, target)
 
+    def crash_random_up_node_now(
+        self, exclude: tuple[str, ...] = (), stream: str = "failures"
+    ) -> str | None:
+        """Crash one random up node, skipping *exclude*; returns the
+        victim name (or None if no eligible node remains).
+
+        Unlike :meth:`arm_random_node_crash` the victim is chosen at
+        call time from the nodes *currently* up, so cascading-failure
+        campaigns never re-kill an already-dead node.
+        """
+        rng = self.cluster.rng(stream)
+        candidates = [
+            n.name for n in self.cluster.up_nodes if n.name not in exclude
+        ]
+        if not candidates:
+            return None
+        victim = rng.choice(candidates)
+        self.crash_node_now(victim)
+        return victim
+
     def arm_random_node_crash(
         self, mean_time_s: float, stream: str = "failures"
     ) -> float:

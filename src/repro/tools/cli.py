@@ -25,6 +25,7 @@ from repro.tools.api import (
     ompi_restart,
     ompi_run,
 )
+from repro.util.errors import RestartError
 
 
 def _universe(n_nodes: int = 4, **params) -> Universe:
@@ -100,7 +101,18 @@ def main_restart(argv=None) -> int:
     universe.run_job_to_completion(job)
     ref = checkpoint_ref(handle)
     print(f"halted into snapshot {ref.path}; restarting...")
-    new_job = ompi_restart(universe, ref)
+    try:
+        new_job = ompi_restart(universe, ref)
+    except RestartError as exc:
+        # A failed or never-committed staging interval is a user-facing
+        # condition, not a crash: one line, non-zero exit, and the fix.
+        print(f"ompi-restart: {exc}")
+        print(
+            "hint: that interval never committed to stable storage; "
+            "pass an earlier committed interval's snapshot reference "
+            "(ompi-ps lists them)."
+        )
+        return 1
     print(f"restarted as job {new_job.jobid} -> {new_job.state.value}")
     for rank in sorted(new_job.results):
         print(f"  rank {rank}: {new_job.results[rank]}")

@@ -22,6 +22,7 @@ KNOWN_PARAMS: dict[str, list[tuple[str, str, str]]] = {
     "snapc": [
         ("snapc", "full", "force SNAPC component selection"),
         ("snapc_full_ready_grace", "0.05", "seconds to wait for in-flight readiness"),
+        ("snapc_full_checkpoint_every", "0", "periodic checkpoint cadence in sim seconds (0 = off)"),
     ],
     "filem": [
         ("filem", "rsh", "force FILEM component selection"),
@@ -57,6 +58,8 @@ KNOWN_PARAMS: dict[str, list[tuple[str, str, str]]] = {
 BASE_PARAMS: list[tuple[str, str, str]] = [
     ("ompi_cr_enabled", "1", "build with C/R support (wrapper PML installed)"),
     ("orte_errmgr_autorecover", "0", "restart failed jobs from their last snapshot"),
+    ("orte_errmgr_max_recoveries", "5", "restart attempts allowed per job lineage"),
+    ("orte_errmgr_backoff", "0.05", "base recovery retry backoff in sim seconds (doubles per retry)"),
 ]
 
 
