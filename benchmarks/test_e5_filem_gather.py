@@ -39,7 +39,7 @@ def measure(filem: str, state_bytes: int) -> dict:
         trace=True,
     )
     assert m["ok"], m["error"]
-    transfers = filter_spans(m["trace"], name="filem.transfer", op="gather")
+    transfers = filter_spans(m["trace"], name="filem.transfer", op="stage_out")
     return {
         "app_blocked_s": m["app_blocked_s"],
         "stable_commit_s": m["stable_commit_s"],

@@ -21,6 +21,10 @@ DEFAULT_PHASES = [
     "crs.serialize",
     "crs.write",
     "filem.transfer",
+    "filem.stage_out",
+    "filem.offer",
+    "filem.ship",
+    "filem.fetch",
     "snapc.fanout",
     "snapc.meta",
     "snapc.stage",

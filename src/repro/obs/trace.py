@@ -26,9 +26,13 @@ span name              opened around
 ``crs.serialize``      pickling the image
 ``crs.hash``           the per-chunk hash pass (incremental)
 ``crs.write``          writing image or dirty chunks + metadata
-``filem.transfer``     one per-entry tree copy (``rsh``)
+``filem.transfer``     one per-entry copy (``rsh``; ``op`` says which)
 ``filem.gather``       a whole gather operation
+``filem.stage_out``    a whole stage-out (gather + source cleanup)
 ``filem.broadcast``    a whole broadcast operation
+``filem.offer``        one CAS negotiation (chunks offered vs missing)
+``filem.ship``         shipping negotiated chunks into the CAS store
+``filem.fetch``        rebuilding CAS-backed images on restart nodes
 ``inc.<layer>``        one layer's INC traversal (Figure 2 as data)
 ``errmgr.detect``      failure detection + survivor/staging teardown
 ``errmgr.recover``     one recovery attempt (snapshot pick → relaunch)

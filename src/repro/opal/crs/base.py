@@ -129,6 +129,7 @@ class CRSComponent(Component):
             )
             kind = chunkstore.KIND_DELTA
             files = [chunkstore.chunk_filename(i) for i in sorted(dirty)]
+            present = sorted(dirty)
         else:
             written = len(blob)
             span = tracer.begin(
@@ -143,6 +144,7 @@ class CRSComponent(Component):
             kind = chunkstore.KIND_FULL
             files = [vpath.basename(ref.image_path)]
             base_interval = None
+            present = list(range(len(hashes)))
         # Remember this interval's chunk shape so the next incremental
         # request can diff against it.
         opal.incr_chunk_cache = {
@@ -168,6 +170,10 @@ class CRSComponent(Component):
             kind=kind,
             base_interval=base_interval if kind == chunkstore.KIND_DELTA else None,
             written_bytes=written,
+            chunk_bytes=chunk_bytes,
+            total_bytes=len(blob),
+            chunk_hashes=list(hashes),
+            present_chunks=present,
         )
         yield from write_local_meta(fs, ref, meta)
         span.end()

@@ -183,6 +183,7 @@ def reconstruct_chain(fs: FS, chain_dirs: list[str], image_file: str) -> SimGen:
 
     # Walk back to the nearest full image for this rank.
     start = None
+    base_manifest: ChunkManifest | None = None
     for pos in range(len(chain_dirs) - 1, -1, -1):
         directory = chain_dirs[pos]
         if not has_manifest(fs, directory):
@@ -191,6 +192,7 @@ def reconstruct_chain(fs: FS, chain_dirs: list[str], image_file: str) -> SimGen:
         manifest = yield from read_manifest(fs, directory)
         if manifest.kind == KIND_FULL:
             start = pos
+            base_manifest = manifest
             break
     if start is None:
         raise RestartError(
@@ -202,14 +204,26 @@ def reconstruct_chain(fs: FS, chain_dirs: list[str], image_file: str) -> SimGen:
     if start == len(chain_dirs) - 1:
         return blob, final
 
-    chunk_bytes = final.chunk_bytes
-    chunks = split_chunks(blob, chunk_bytes)
+    # Each directory's overlay indices are relative to *its own*
+    # chunk_bytes (``crs_base_chunk_bytes`` may change between
+    # intervals), so the base is split per the base's geometry and the
+    # image is re-split whenever a delta uses a different chunk size.
+    # A legacy manifest-less base has no geometry of its own; it adopts
+    # the first delta's.
+    chunk_bytes = None if base_manifest is None else base_manifest.chunk_bytes
+    chunks = None if chunk_bytes is None else split_chunks(blob, chunk_bytes)
     for directory in chain_dirs[start + 1 :]:
         manifest = yield from read_manifest(fs, directory)
         if manifest.kind == KIND_FULL:
             blob = yield from fs.read(vpath.join(directory, image_file))
-            chunks = split_chunks(blob, manifest.chunk_bytes)
+            chunk_bytes = manifest.chunk_bytes
+            chunks = split_chunks(blob, chunk_bytes)
             continue
+        if chunks is None or chunk_bytes != manifest.chunk_bytes:
+            if chunks is not None:
+                blob = b"".join(chunks)
+            chunk_bytes = manifest.chunk_bytes
+            chunks = split_chunks(blob, chunk_bytes)
         # Grow/shrink to the delta's chunk count, then overlay.
         n = manifest.n_chunks
         if len(chunks) < n:
@@ -234,3 +248,44 @@ def reconstruct_chain(fs: FS, chain_dirs: list[str], image_file: str) -> SimGen:
                 f"reconstructed chunk {index} of {newest} fails verification"
             )
     return blob, final
+
+
+def load_chunks(
+    fs: FS,
+    snapshot_dir: str,
+    manifest: ChunkManifest,
+    indices: list[int],
+    image_file: str,
+) -> SimGen:
+    """Read selected chunk payloads out of one snapshot directory.
+
+    Full directories store the image as a single file, so it is read
+    once and sliced per the manifest's geometry; delta directories
+    store individual chunk files and can only serve the indices listed
+    in ``manifest.present``.  Returns ``{index: bytes}``.  This is the
+    provider side of the CAS ship protocol.
+    """
+    want = sorted(set(indices))
+    payloads: dict[int, bytes] = {}
+    if not want:
+        return payloads
+    if manifest.kind == KIND_FULL:
+        blob = yield from fs.read(vpath.join(snapshot_dir, image_file))
+        chunks = split_chunks(blob, manifest.chunk_bytes)
+        for index in want:
+            if index >= len(chunks):
+                raise SnapshotError(
+                    f"chunk {index} out of range for {snapshot_dir}"
+                )
+            payloads[index] = chunks[index]
+        return payloads
+    present = set(manifest.present)
+    for index in want:
+        if index not in present:
+            raise SnapshotError(
+                f"chunk {index} not present in delta {snapshot_dir}"
+            )
+        payloads[index] = yield from fs.read(
+            vpath.join(snapshot_dir, chunk_filename(index))
+        )
+    return payloads

@@ -23,6 +23,13 @@ Schafer call out for C/R libraries):
   broke); recovery walks back to the newest COMMITTED interval whose
   base chain is intact on stable storage, verifying the persisted
   metadata rather than trusting in-memory state.
+* **No permanent blacklist** — a ref that fails a restart is skipped
+  only for the remainder of that episode (and any interval chained on
+  it is treated as broken too).  A later episode re-verifies from
+  scratch: transient stable-storage faults do not poison a good
+  COMMITTED interval, and CAS-backed intervals are checked chunk by
+  chunk against the store, so a missing chunk repaired by re-staging
+  makes the interval usable again.
 * **Recovered jobs are seeded** — a restarted job begins life with the
   snapshot it came from (and its committed ancestors) as its recovery
   baseline, so a re-failure before its first checkpoint still has
@@ -131,8 +138,6 @@ class ErrMgr:
         self._attempts: dict[int, int] = {}
         #: lineage roots with a recovery currently in flight
         self._recovering: set[int] = set()
-        #: snapshot paths that failed a restart and must not be retried
-        self._bad_refs: set[str] = set()
         #: failed jobid -> event fired with the successor Job (or None)
         self._outcomes: dict[int, "SimEvent"] = {}
         hnp.universe.cluster.failures.on_failure(self._on_injected_failure)
@@ -303,6 +308,10 @@ class ErrMgr:
         self.recovery_log.append(record)
         self._recovering.add(root)
         retry = 0
+        #: refs that failed a restart *this episode* — skipped until the
+        #: episode ends, then re-verified from scratch next time (a
+        #: transient fault must not poison a committed interval forever)
+        skip: set[str] = set()
         try:
             while True:
                 spent = self._attempts.get(root, 0)
@@ -314,7 +323,7 @@ class ErrMgr:
                     log.warning("job %d: %s", job.jobid, record.error)
                     self._settle(job.jobid, None)
                     return None
-                picked = yield from self._pick_snapshot(job)
+                picked = yield from self._pick_snapshot(job, skip)
                 if picked is None:
                     record.error = (
                         "no committed snapshot with an intact base chain"
@@ -341,10 +350,13 @@ class ErrMgr:
                         self.hnp, ref, {}
                     )
                 except (RestartError, SnapshotError) as exc:
-                    # The snapshot itself is unusable (failed staging,
-                    # missing metadata, no compatible image): never try
-                    # it again; the next pass walks back past it.
-                    self._bad_refs.add(ref.path)
+                    # The snapshot is unusable *right now* (failed
+                    # staging, missing metadata, absent chunks): skip it
+                    # for the rest of this episode and walk back.  It is
+                    # not blacklisted — the next episode re-verifies it,
+                    # so a transient fault or a since-repaired chunk
+                    # store does not cost the interval forever.
+                    skip.add(ref.path)
                     span.end(ok=False, error=str(exc))
                     log.warning(
                         "recovery attempt from %s failed: %s", ref.path, exc
@@ -376,18 +388,20 @@ class ErrMgr:
         finally:
             self._recovering.discard(root)
 
-    def _pick_snapshot(self, job: Job) -> SimGen:
+    def _pick_snapshot(self, job: Job, skip: set[str] | None = None) -> SimGen:
         """Newest usable ``(ref, meta)`` from *job*'s snapshot list.
 
         Walks ``job.snapshots`` newest-first, skipping refs that
-        already failed a restart, intervals whose persisted staging
-        state is not COMMITTED, and delta intervals whose base chain is
-        no longer intact on stable storage.  Returns None if nothing
-        survives.
+        already failed a restart this episode (*skip*), intervals whose
+        persisted staging state is not COMMITTED, delta intervals whose
+        base chain is no longer intact on stable storage *or* runs
+        through a ref in *skip*, and CAS intervals with chunks missing
+        from the store.  Returns None if nothing survives.
         """
+        skip = skip or set()
         stable = self.hnp.universe.cluster.stable_fs
         for ref in list(reversed(job.snapshots)):
-            if ref.path in self._bad_refs:
+            if ref.path in skip:
                 continue
             ok, meta = yield from self._verify_committed(stable, ref.path)
             if not ok or meta is None:
@@ -400,10 +414,18 @@ class ErrMgr:
             for dep in meta.base_chain:
                 if dep == ref.path:
                     continue
+                # A dep that failed a restart this episode breaks every
+                # chain through it — selecting such a chain would just
+                # burn a recovery attempt on a known-bad base.
+                if dep in skip:
+                    intact = False
+                    break
                 dep_ok, _ = yield from self._verify_committed(stable, dep)
                 if not dep_ok:
                     intact = False
                     break
+            if intact and getattr(meta, "cas", False):
+                intact = yield from self._verify_cas_chunks(stable, ref, meta)
             if intact:
                 return ref, meta
             log.warning(
@@ -411,6 +433,35 @@ class ErrMgr:
                 job.jobid, ref.path,
             )
         return None
+
+    def _verify_cas_chunks(self, stable, ref, meta) -> SimGen:
+        """Presence check of a CAS interval's chunks in the store.
+
+        Content is verified chunk-by-chunk during the restart fetch;
+        this pre-check only keeps recovery from spending an attempt on
+        an interval whose chunks are already known to be gone.
+        """
+        from repro.opal.crs import chunks as chunkstore
+
+        stager_fn = getattr(self.hnp.snapc, "stager", None)
+        if stager_fn is None:
+            return True
+        store = stager_fn(self.hnp).store
+        for rank in sorted(meta.locals):
+            try:
+                manifest = yield from chunkstore.read_manifest(
+                    stable, ref.local_dir(rank)
+                )
+            except ReproError:
+                return False
+            if store.missing(manifest.hashes):
+                log.warning(
+                    "job %d: snapshot %s rank %d has chunks missing from "
+                    "the store; walking back",
+                    meta.jobid, ref.path, rank,
+                )
+                return False
+        return True
 
     def _verify_committed(self, stable, path: str) -> SimGen:
         """``(committed, meta)`` for a global snapshot directory."""

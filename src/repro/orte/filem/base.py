@@ -25,6 +25,10 @@ class FILEMComponent(Component):
     #: True if local snapshots should be written directly to stable
     #: storage, making gather a metadata check (the ``shared`` case).
     wants_direct_stable = False
+    #: True if the component implements the chunk-level offer/ship
+    #: protocol against a content-addressed store (ship_chunks /
+    #: fetch_chunks) — the deduplicating stage-out path.
+    supports_cas = False
 
     # Each op takes a list of work items and returns total bytes moved.
 
@@ -67,6 +71,30 @@ class FILEMComponent(Component):
             hnp, [(node, src) for node, src, _dst in entries]
         )
         return moved
+
+    # -- chunk-level CAS protocol (components with supports_cas) -------------
+
+    def ship_chunks(self, hnp: "HNP", store, entries: list[tuple]) -> SimGen:
+        """Ship chunk payloads from node-local snapshots into *store*.
+
+        ``entries``: ``(node_name, local_src_dir, manifest, indices)``
+        — only the listed chunk indices of each source directory move
+        over the network.  Returns total bytes shipped.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def fetch_chunks(self, hnp: "HNP", store, entries: list[tuple[str, str, str]]) -> SimGen:
+        """Materialize CAS-backed snapshots onto nodes for restart.
+
+        ``entries``: ``(node_name, stable_src_dir, local_dst_dir)`` —
+        the stable directory holds the rank manifest + metadata; every
+        chunk is fetched from *store* (verified per chunk) and the
+        reassembled image is written to the node-local destination.
+        Returns total bytes fetched.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
 
     # -- shared helper: run per-entry generators with bounded concurrency ---
 

@@ -27,9 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class SharedFILEM(FILEMComponent):
     wants_direct_stable = True
 
-    def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+    def _probe(self, hnp: "HNP", entries, span_name: str) -> SimGen:
+        """Snapshots already sit at their destination; verify presence."""
         span = hnp.proc.kernel.tracer.begin(
-            "filem.gather", cat="filem", entries=len(entries)
+            span_name, cat="filem", entries=len(entries)
         )
         stable = hnp.universe.cluster.stable_fs
         yield Delay(stable.op_latency_s * max(1, len(entries)))
@@ -41,6 +42,10 @@ class SharedFILEM(FILEMComponent):
                 raise VFSError(f"expected snapshot tree missing: {dst_dir}")
         span.end(bytes=0)
         return 0
+
+    def gather(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
+        moved = yield from self._probe(hnp, entries, "filem.gather")
+        return moved
 
     def broadcast(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
         span = hnp.proc.kernel.tracer.begin(
@@ -63,5 +68,5 @@ class SharedFILEM(FILEMComponent):
     def stage_out(self, hnp: "HNP", entries: list[tuple[str, str, str]]) -> SimGen:
         # Snapshots were written directly at their final location;
         # verify presence, nothing to move and nothing to clean up.
-        moved = yield from self.gather(hnp, entries)
+        moved = yield from self._probe(hnp, entries, "filem.stage_out")
         return moved

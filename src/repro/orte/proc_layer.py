@@ -118,6 +118,13 @@ class OrteProcLayer:
             "portable": meta.portable,
             "kind": meta.kind,
             "bytes": meta.written_bytes,
+            # CAS-ready manifest summary: lets the global coordinator
+            # negotiate with the chunk store without reading remote
+            # manifests first.
+            "chunk_bytes": meta.chunk_bytes,
+            "total_bytes": meta.total_bytes,
+            "hashes": meta.chunk_hashes,
+            "present": meta.present_chunks,
         }
 
     def _resolve_fs(self, kind: str):

@@ -296,6 +296,33 @@ class FullSNAPC(SNAPCComponent):
                 "compact": False,
             }
 
+        # Content-addressed staging: every rank must have replied with
+        # a CAS-ready manifest (chunk digests); a rank without one
+        # (e.g. a CRS that bypasses the chunk format) falls the whole
+        # interval back to tree staging.
+        cas_active = (
+            stager.cas_enabled
+            and not direct_stable
+            and getattr(hnp.filem, "supports_cas", False)
+        )
+        rank_manifests: dict[int, chunkstore.ChunkManifest] = {}
+        if cas_active:
+            for rank in sorted(results):
+                reply = results[rank]
+                if not reply.get("hashes"):
+                    cas_active = False
+                    rank_manifests = {}
+                    break
+                rank_manifests[rank] = chunkstore.ChunkManifest(
+                    kind=reply.get("kind", chunkstore.KIND_FULL),
+                    chunk_bytes=reply.get("chunk_bytes", 0),
+                    total_bytes=reply.get("total_bytes", 0),
+                    hashes=list(reply.get("hashes", [])),
+                    present=list(reply.get("present", [])),
+                    base_interval=plan["base_interval"],
+                    interval=interval,
+                )
+
         meta = GlobalSnapshotMeta(
             jobid=job.jobid,
             interval=interval,
@@ -319,7 +346,11 @@ class FullSNAPC(SNAPCComponent):
             },
             kind=plan["kind"],
             base_interval=plan["base_interval"],
-            base_chain=list(plan["base_chain"]),
+            # A CAS interval's manifests list every chunk digest, so
+            # restart never needs another directory — its persisted
+            # chain is empty even when the ranks wrote deltas.
+            base_chain=[] if cas_active else list(plan["base_chain"]),
+            cas=cas_active,
             staging={
                 "state": STAGE_STAGING,
                 "committed_sim_time": None,
@@ -342,6 +373,8 @@ class FullSNAPC(SNAPCComponent):
             base_chain=list(plan["base_chain"]),
             compact=plan["compact"],
             gather_entries=gather_entries,
+            cas=cas_active,
+            rank_manifests=rank_manifests,
             terminate=terminate,
             done=hnp.proc.kernel.event(
                 f"snapc.commit.job{job.jobid}.{interval}"
@@ -436,43 +469,98 @@ class FullSNAPC(SNAPCComponent):
 
         specs: list[ProcSpec] = []
         bcast_entries: list[tuple[str, str, str]] = []
-        for rank in range(meta.n_procs):
-            node_name = placements[rank]
-            rank_chain = [vpath.join(d, f"rank{rank}") for d in chain_dirs]
-            if direct_stable:
-                restart_from = {
-                    "fs": "stable",
-                    "dir": rank_chain[-1],
-                    "chain": rank_chain,
-                }
-            else:
-                local_chain = []
-                for part, src_dir in enumerate(rank_chain):
-                    dst_dir = vpath.join(
-                        RESTART_STAGING_ROOT,
-                        f"job{job.jobid}",
-                        f"rank{rank}",
-                        f"part{part}",
-                    )
-                    bcast_entries.append((node_name, src_dir, dst_dir))
-                    local_chain.append(dst_dir)
-                restart_from = {
-                    "fs": "local",
-                    "dir": local_chain[-1],
-                    "chain": local_chain,
-                }
-            specs.append(
-                ProcSpec(
-                    jobid=job.jobid,
-                    rank=rank,
-                    node_name=node_name,
-                    app=app,
-                    restart_from=restart_from,
+        fetch_entries: list[tuple[str, str, str]] = []
+        if meta.cas:
+            # The rank directories hold only manifests; the image bytes
+            # live in the content-addressed store and every chunk is
+            # verified individually on the way out.
+            if not getattr(hnp.filem, "supports_cas", False):
+                raise RestartError(
+                    f"snapshot {ref.path} is CAS-backed but FILEM "
+                    f"{hnp.filem.name!r} cannot fetch chunks"
                 )
-            )
+            store = stager.store
+            missing = 0
+            for rank in range(meta.n_procs):
+                try:
+                    manifest = yield from chunkstore.read_manifest(
+                        stable, ref.local_dir(rank)
+                    )
+                except ReproError as exc:
+                    raise RestartError(
+                        f"snapshot {ref.path}: rank {rank} manifest "
+                        f"unreadable: {exc}"
+                    ) from exc
+                missing += len(store.missing(manifest.hashes))
+            if missing:
+                # Retryable: re-staging (any checkpoint that ships the
+                # chunk again) repairs the store; nothing is poisoned.
+                raise RestartError(
+                    f"snapshot {ref.path}: {missing} chunk(s) absent "
+                    "from the store"
+                )
+            for rank in range(meta.n_procs):
+                node_name = placements[rank]
+                dst_dir = vpath.join(
+                    RESTART_STAGING_ROOT,
+                    f"job{job.jobid}",
+                    f"rank{rank}",
+                    "part0",
+                )
+                fetch_entries.append((node_name, ref.local_dir(rank), dst_dir))
+                specs.append(
+                    ProcSpec(
+                        jobid=job.jobid,
+                        rank=rank,
+                        node_name=node_name,
+                        app=app,
+                        restart_from={
+                            "fs": "local",
+                            "dir": dst_dir,
+                            "chain": [dst_dir],
+                        },
+                    )
+                )
+        else:
+            for rank in range(meta.n_procs):
+                node_name = placements[rank]
+                rank_chain = [vpath.join(d, f"rank{rank}") for d in chain_dirs]
+                if direct_stable:
+                    restart_from = {
+                        "fs": "stable",
+                        "dir": rank_chain[-1],
+                        "chain": rank_chain,
+                    }
+                else:
+                    local_chain = []
+                    for part, src_dir in enumerate(rank_chain):
+                        dst_dir = vpath.join(
+                            RESTART_STAGING_ROOT,
+                            f"job{job.jobid}",
+                            f"rank{rank}",
+                            f"part{part}",
+                        )
+                        bcast_entries.append((node_name, src_dir, dst_dir))
+                        local_chain.append(dst_dir)
+                    restart_from = {
+                        "fs": "local",
+                        "dir": local_chain[-1],
+                        "chain": local_chain,
+                    }
+                specs.append(
+                    ProcSpec(
+                        jobid=job.jobid,
+                        rank=rank,
+                        node_name=node_name,
+                        app=app,
+                        restart_from=restart_from,
+                    )
+                )
 
         # Preload checkpoint files on the target machines (section 5.2).
         try:
+            if fetch_entries:
+                yield from hnp.filem.fetch_chunks(hnp, stager.store, fetch_entries)
             if bcast_entries:
                 yield from hnp.filem.broadcast(hnp, bcast_entries)
             yield from hnp.launch_and_init(job, specs)

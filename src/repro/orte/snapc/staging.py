@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.opal.crs import chunks as chunkstore
 from repro.orte.job import JobState
-from repro.simenv.kernel import SimGen, WaitEvent
+from repro.simenv.kernel import Delay, SimGen, WaitEvent
 from repro.snapshot import (
     IMAGE_FILE,
     LOCAL_META,
@@ -48,11 +48,16 @@ from repro.snapshot import (
     STAGE_STAGING,
     GlobalSnapshotMeta,
     GlobalSnapshotRef,
+    LocalSnapshotMeta,
+    LocalSnapshotRef,
     write_global_meta,
+    write_local_meta,
 )
-from repro.util.errors import NetworkError, RestartError, VFSError
+from repro.util.errors import NetworkError, RestartError, SnapshotError, VFSError
 from repro.util.logging import get_logger
 from repro.vfs import path as vpath
+from repro.vfs.cas import DEFAULT_ROOT as CAS_ROOT
+from repro.vfs.cas import ChunkStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orte.hnp import HNP
@@ -83,9 +88,17 @@ class StagingRecord:
     terminate: bool
     done: "SimEvent"
     enqueued_at: float
+    #: stage via the content-addressed store (offer/ship protocol)
+    cas: bool = False
+    #: rank -> capture-side ChunkManifest (CAS mode; aligned with
+    #: ``gather_entries``, both ordered by rank)
+    rank_manifests: dict = field(default_factory=dict)
     state: str = STAGE_STAGING
     error: str | None = None
     bytes_moved: int = 0
+    #: sum of the ranks' logical image sizes (CAS mode; the dedup
+    #: ratio is bytes_logical / bytes_moved)
+    bytes_logical: int = 0
     committed_at: float | None = None
 
     @property
@@ -128,7 +141,27 @@ class StagingCoordinator:
         self.retries = max(0, params.get_int("snapc_full_stage_retries", 1))
         self.every = max(1, params.get_int("snapc_full_interval_every", 1))
         self.max_chain = max(1, params.get_int("snapc_full_max_chain", 4))
+        #: stage intervals through the content-addressed store
+        #: (opt-in; needs a FILEM component with supports_cas)
+        self.cas_enabled = params.get_bool("snapc_full_cas", False)
+        self.cas_root = params.get("snapc_full_cas_root", CAS_ROOT)
         self._jobs: dict[int, _JobStaging] = {}
+
+    @property
+    def store(self) -> ChunkStore:
+        """The cluster-wide chunk store on stable storage (lazy).
+
+        All store state lives on the filesystem, so re-opening it (a
+        new coordinator, a test, ``ompi-restart`` after HNP loss) sees
+        the same blobs and references.
+        """
+        store = getattr(self, "_store", None)
+        if store is None:
+            store = ChunkStore(
+                self.hnp.universe.cluster.stable_fs, root=self.cas_root
+            )
+            self._store = store
+        return store
 
     @property
     def _kernel(self) -> "Kernel":
@@ -339,16 +372,24 @@ class StagingCoordinator:
         yield from self._write_meta(record)
 
         error: str | None = None
-        if any(d in st.failed_dirs for d in record.base_chain):
+        if record.cas:
+            # A failed base interval does not doom a CAS delta: its
+            # chunks may already sit in the store (shipped by another
+            # rank, interval, or job); the negotiation decides.
+            error = yield from self._stage_cas(record)
+        elif any(d in st.failed_dirs for d in record.base_chain):
             error = "a base interval of this delta failed to stage"
         else:
             error = yield from self._gather_with_retry(record)
 
         if error is None and record.compact:
-            try:
-                yield from self._compact(record)
-            except (VFSError, RestartError) as exc:
-                error = f"compaction failed: {exc}"
+            if record.cas:
+                self._compact_by_reference(record)
+            else:
+                try:
+                    yield from self._compact(record)
+                except (VFSError, RestartError) as exc:
+                    error = f"compaction failed: {exc}"
 
         if error is None:
             record.meta.staging = {
@@ -461,3 +502,185 @@ class StagingCoordinator:
             record.jobid, record.interval, len(chain),
         )
         return None
+
+    # -- content-addressed staging (offer/ship) ----------------------------------
+
+    def _compact_by_reference(self, record: StagingRecord) -> None:
+        """CAS compaction: rewrite references, move no bytes.
+
+        A CAS interval's rank manifests already list *every* chunk
+        digest and the bytes live in the store, so "rewriting as a full
+        image" is a pure metadata change — the chain resets without a
+        single chunk being copied.
+        """
+        record.kind = chunkstore.KIND_FULL
+        record.meta.kind = chunkstore.KIND_FULL
+        record.meta.base_interval = None
+        record.meta.base_chain = []
+        log.info(
+            "job %d interval %d compacted by reference (no bytes moved)",
+            record.jobid, record.interval,
+        )
+
+    def _stage_cas(self, record: StagingRecord) -> SimGen:
+        """Negotiate with the store, ship only missing chunks; returns
+        an error string or None.
+
+        The offer is the union of every rank manifest's digests; the
+        store answers with what it lacks (``filem.offer`` span); each
+        missing digest is assigned to exactly one provider directory
+        that physically holds its bytes, so identical chunks across
+        ranks ship once.  Retries re-negotiate from the store's current
+        contents — chunks that landed before a failure are never
+        shipped twice.  On success the interval's rank directories on
+        stable storage hold only a manifest and metadata; the bytes
+        live in the store, referenced per rank directory.
+        """
+        store = self.store
+        stable = self.hnp.universe.cluster.stable_fs
+        ranks = sorted(record.rank_manifests)
+        entries = [
+            (rank, node, src)
+            for rank, (node, src, _dst) in zip(ranks, record.gather_entries)
+        ]
+        manifests = record.rank_manifests
+        record.bytes_logical = sum(m.total_bytes for m in manifests.values())
+
+        offer: list[str] = []
+        providers: list[dict[str, int]] = []
+        for rank, _node, _src in entries:
+            manifest = manifests[rank]
+            offer.extend(manifest.hashes)
+            lookup: dict[str, int] = {}
+            for index in manifest.present:
+                lookup.setdefault(manifest.hashes[index], index)
+            providers.append(lookup)
+
+        span = self._kernel.tracer.begin(
+            "filem.offer", cat="filem", jobid=record.jobid,
+            interval=record.interval, chunks_offered=len(dict.fromkeys(offer)),
+        )
+        yield Delay(stable.op_latency_s)
+        first_missing = store.missing(offer)
+        span.end(chunks_missing=len(first_missing))
+
+        last_error: str | None = None
+        for _attempt in range(self.retries + 1):
+            yield Delay(stable.op_latency_s)
+            missing = store.missing(offer)
+            if not missing:
+                last_error = None
+                break
+            ship_by: dict[int, list[int]] = {}
+            unsourced = 0
+            for digest in missing:
+                for pos, lookup in enumerate(providers):
+                    if digest in lookup:
+                        ship_by.setdefault(pos, []).append(lookup[digest])
+                        break
+                else:
+                    unsourced += 1
+            if unsourced:
+                # A delta's clean chunks have no local bytes; they must
+                # already be in the store from the base interval.  If
+                # they are not, no amount of retrying helps.
+                return (
+                    f"{unsourced} chunk(s) absent from the store with no "
+                    "local source"
+                )
+            ship_entries = [
+                (entries[pos][1], entries[pos][2], manifests[entries[pos][0]],
+                 sorted(indices))
+                for pos, indices in sorted(ship_by.items())
+            ]
+            try:
+                moved = yield from self.hnp.filem.ship_chunks(
+                    self.hnp, store, ship_entries
+                )
+                record.bytes_moved += int(moved or 0)
+            except (VFSError, NetworkError, SnapshotError) as exc:
+                last_error = str(exc)
+                continue
+        still_missing = store.missing(offer)
+        if still_missing:
+            return last_error or (
+                f"{len(still_missing)} chunk(s) missing after ship"
+            )
+
+        # Commit: per-rank manifest + metadata on stable storage, chunk
+        # references registered against the rank directory.
+        for rank, node, _src in entries:
+            manifest = manifests[rank]
+            dst = record.ref.local_dir(rank)
+            stable.mkdir(dst)
+            cas_manifest = chunkstore.ChunkManifest(
+                kind=chunkstore.KIND_FULL,
+                chunk_bytes=manifest.chunk_bytes,
+                total_bytes=manifest.total_bytes,
+                hashes=list(manifest.hashes),
+                # No chunk bytes live in this directory; restart
+                # fetches them from the store.
+                present=[],
+                base_interval=None,
+                interval=record.interval,
+            )
+            yield from chunkstore.write_manifest(stable, dst, cas_manifest)
+            info = record.meta.locals.get(rank, {})
+            local_meta = LocalSnapshotMeta(
+                rank=rank,
+                jobid=record.jobid,
+                crs_component=info.get("crs", "simcr"),
+                origin_node=info.get("node", node),
+                os_tag=info.get("os_tag", ""),
+                interval=record.interval,
+                sim_time=record.meta.sim_time,
+                portable=bool(info.get("portable", True)),
+                kind=chunkstore.KIND_FULL,
+                chunk_bytes=manifest.chunk_bytes,
+                total_bytes=manifest.total_bytes,
+                chunk_hashes=list(manifest.hashes),
+                present_chunks=[],
+            )
+            yield from write_local_meta(
+                stable, LocalSnapshotRef(stable.name, dst), local_meta
+            )
+            yield from store.add_refs(dst, manifest.hashes)
+        # Local staging is no longer needed (kept until now so a failed
+        # ship could retry from the same sources).
+        try:
+            yield from self.hnp.filem.remove(
+                self.hnp, [(node, src) for _rank, node, src in entries]
+            )
+        except (VFSError, NetworkError):
+            pass
+        return None
+
+    # -- retirement / garbage collection -----------------------------------------
+
+    def purge_interval(
+        self, ref: GlobalSnapshotRef, meta: GlobalSnapshotMeta
+    ) -> SimGen:
+        """Retire one CAS-backed interval from stable storage.
+
+        Releases every rank directory's chunk references, removes the
+        global directory, and garbage-collects blobs nothing references
+        any more — other intervals and jobs keep the chunks they still
+        share (the dedup contract).  Returns ``(blobs_removed,
+        bytes_freed)``.
+        """
+        stable = self.hnp.universe.cluster.stable_fs
+        for rank in sorted(meta.locals):
+            yield from self.store.release(ref.local_dir(rank))
+        yield from stable.remove_tree(ref.path)
+        removed, freed = yield from self.store.gc()
+        log.info(
+            "purged %s: %d blob(s), %d bytes reclaimed", ref.path, removed, freed
+        )
+        return removed, freed
+
+    def job_records(self, jobid: int) -> list[StagingRecord]:
+        """All staging records of *jobid*, in interval order."""
+        st = self._jobs.get(jobid)
+        if st is None:
+            return []
+        return [st.records[i] for i in sorted(st.records)]

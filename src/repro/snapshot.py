@@ -54,6 +54,13 @@ class LocalSnapshotMeta:
     base_interval: int | None = None
     #: bytes physically written for this snapshot (full image or delta)
     written_bytes: int = 0
+    #: CAS-ready manifest summary (chunk geometry + every chunk's
+    #: digest); empty on pre-CAS snapshots
+    chunk_bytes: int = 0
+    total_bytes: int = 0
+    chunk_hashes: list[str] = field(default_factory=list)
+    #: chunk indices physically present in the snapshot directory
+    present_chunks: list[int] = field(default_factory=list)
 
     def to_json(self) -> bytes:
         return json.dumps(asdict(self), sort_keys=True, indent=1).encode()
@@ -93,6 +100,9 @@ class GlobalSnapshotMeta:
     #: global snapshot dirs this interval depends on, oldest full first
     #: (empty for full intervals)
     base_chain: list = field(default_factory=list)
+    #: True when the interval's chunk bytes live in the content-addressed
+    #: store and the rank directories hold only manifests + metadata
+    cas: bool = False
     #: aggregation-to-stable-storage lifecycle of this interval
     #: ({"state": staging|committed|failed, "committed_sim_time", "error"})
     staging: dict = field(

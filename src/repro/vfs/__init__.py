@@ -8,6 +8,7 @@ with timed read/write operations, so the FILEM components can be
 compared on equal footing.
 """
 
+from repro.vfs.cas import ChunkStore, chunk_digest
 from repro.vfs.fsbase import FS, FileStat
 from repro.vfs.localfs import LocalFS
 from repro.vfs.sharedfs import SharedFS
@@ -17,6 +18,8 @@ from repro.vfs.transfer import copy_file, copy_tree
 __all__ = [
     "FS",
     "FileStat",
+    "ChunkStore",
+    "chunk_digest",
     "LocalFS",
     "SharedFS",
     "basename",

@@ -1,0 +1,506 @@
+"""Content-addressed snapshot store: unit tests for the chunk store,
+the offer/ship staging path, restart-time chunk verification, and
+garbage collection across interval retirement.
+
+Integration timings follow the churn conventions of
+``test_errmgr_recovery``: a 4 MB-per-rank interval requested at ``t``
+is committed well before ``t + 0.25`` sim-seconds (the CAS path ships
+only unique chunks, so it commits even faster than plain staging).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opal.crs import chunks as chunkstore
+from repro.snapshot import parse_global_dirname, read_global_meta
+from repro.tools.api import (
+    checkpoint_ref,
+    ompi_checkpoint,
+    ompi_restart,
+    ompi_run,
+)
+from repro.util.errors import RestartError, SnapshotError
+from repro.vfs.cas import ChunkStore, chunk_digest
+from repro.vfs.fsbase import FS
+from tests.conftest import make_universe, run_gen
+
+CAS = {"snapc_full_cas": "1", "filem": "rsh"}
+#: ~0.55 sim-seconds of runtime, 4 MB of (mostly zero) state per rank
+CHURN = {"loops": 50, "compute_s": 0.01, "state_bytes": 4 << 20}
+JACOBI = {"n_global": 256, "iters": 30000}
+
+
+def _read_manifest(universe, ref, rank):
+    stable = universe.cluster.stable_fs
+    return run_gen(
+        universe.kernel,
+        chunkstore.read_manifest(stable, ref.local_dir(rank)),
+    )
+
+
+def _stager(universe):
+    return universe.hnp.snapc.stager(universe.hnp)
+
+
+class TestChunkStore:
+    @pytest.fixture
+    def fs(self, kernel):
+        return FS(kernel, "stable", bandwidth_Bps=1e8, op_latency_s=0.001)
+
+    @pytest.fixture
+    def store(self, fs):
+        return ChunkStore(fs, root="/cas")
+
+    def test_put_get_roundtrip_and_dedup(self, kernel, store):
+        data = b"chunk payload"
+        digest = chunk_digest(data)
+
+        def main():
+            first = yield from store.put(digest, data)
+            second = yield from store.put(digest, data)
+            blob = yield from store.get(digest)
+            return first, second, blob
+
+        first, second, blob = run_gen(kernel, main())
+        assert first == len(data)
+        assert second == 0  # dedup hit: no bytes written
+        assert blob == data
+        assert store.has(digest)
+
+    def test_put_rejects_mismatched_digest(self, kernel, store):
+        def main():
+            yield from store.put(chunk_digest(b"expected"), b"actual")
+
+        with pytest.raises(SnapshotError, match="does not match"):
+            run_gen(kernel, main())
+
+    def test_get_absent_chunk_raises(self, kernel, store):
+        def main():
+            yield from store.get(chunk_digest(b"never stored"))
+
+        with pytest.raises(SnapshotError, match="absent"):
+            run_gen(kernel, main())
+
+    def test_get_verifies_content(self, kernel, fs, store):
+        data = b"to be corrupted"
+        digest = chunk_digest(data)
+        run_gen(kernel, store.put(digest, data))
+        fs.poke(store.blob_path(digest), b"garbage")
+
+        def main():
+            yield from store.get(digest)
+
+        with pytest.raises(SnapshotError, match="verification"):
+            run_gen(kernel, main())
+
+    def test_missing_answers_offer_in_order(self, kernel, store):
+        held = b"already here"
+        run_gen(kernel, store.put(chunk_digest(held), held))
+        d_a, d_b = chunk_digest(b"aa"), chunk_digest(b"bb")
+        offer = [d_a, chunk_digest(held), d_b, d_a]  # duplicates collapse
+        assert store.missing(offer) == [d_a, d_b]
+        assert store.missing([chunk_digest(held)]) == []
+
+    def test_refcounts_and_gc(self, kernel, store):
+        shared, only_a = b"shared", b"only-a"
+        d_shared, d_only = chunk_digest(shared), chunk_digest(only_a)
+
+        def setup():
+            yield from store.put(d_shared, shared)
+            yield from store.put(d_only, only_a)
+            yield from store.add_refs("/snap/a", [d_shared, d_only])
+            yield from store.add_refs("/snap/b", [d_shared])
+            # idempotent merge: re-adding does not duplicate anything
+            yield from store.add_refs("/snap/b", [d_shared])
+
+        run_gen(kernel, setup())
+        assert store.refcount(d_shared) == 2
+        assert store.refcount(d_only) == 1
+        assert store.owners() == ["/snap/a", "/snap/b"]
+
+        removed, freed = run_gen(kernel, store.gc())
+        assert (removed, freed) == (0, 0)  # everything still referenced
+
+        run_gen(kernel, store.release("/snap/a"))
+        removed, freed = run_gen(kernel, store.gc())
+        assert removed == 1 and freed == len(only_a)
+        assert store.has(d_shared) and not store.has(d_only)
+
+        run_gen(kernel, store.release("/snap/b"))
+        removed, _ = run_gen(kernel, store.gc())
+        assert removed == 1
+        assert store.stats()["blobs"] == 0
+
+    def test_stats(self, kernel, store):
+        data = b"x" * 100
+        run_gen(kernel, store.put(chunk_digest(data), data))
+        run_gen(kernel, store.add_refs("/snap/a", [chunk_digest(data)]))
+        stats = store.stats()
+        assert stats == {
+            "blobs": 1, "stored_bytes": 100, "owners": 1, "referenced": 1
+        }
+
+
+class TestManifestEdgeCases:
+    def test_split_chunks_empty_blob(self):
+        # An empty image is one empty chunk, not zero chunks — the
+        # manifest always has at least one hash to verify against.
+        assert chunkstore.split_chunks(b"", 4) == [b""]
+        assert chunkstore.split_chunks(b"", 1 << 20) == [b""]
+
+    def test_empty_image_round_trips_through_chunks(self, kernel):
+        fs = FS(kernel, "t", bandwidth_Bps=1e8, op_latency_s=0.001)
+        chunks = chunkstore.split_chunks(b"", 64)
+        hashes = [chunkstore.hash_chunk(c) for c in chunks]
+
+        def main():
+            yield from fs.write("/s/1/image.pkl", b"")
+            manifest = yield from chunkstore.write_full_manifest(
+                fs, "/s/1", 64, 0, hashes, 1
+            )
+            payloads = yield from chunkstore.load_chunks(
+                fs, "/s/1", manifest, [0], "image.pkl"
+            )
+            blob, _ = yield from chunkstore.reconstruct_chain(
+                fs, ["/s/1"], "image.pkl"
+            )
+            return payloads, blob
+
+        payloads, blob = run_gen(kernel, main())
+        assert payloads == {0: b""}
+        assert blob == b""
+
+    def test_manifest_unknown_keys_raise_snapshot_error(self):
+        good = chunkstore.ChunkManifest(
+            kind="full", chunk_bytes=4, total_bytes=8,
+            hashes=["a", "b"], present=[0, 1], interval=1,
+        )
+        raw = good.to_json()
+        assert chunkstore.ChunkManifest.from_json(raw).hashes == ["a", "b"]
+        tampered = raw.replace(b'"kind"', b'"bogus_key": 1, "kind"')
+        with pytest.raises(SnapshotError, match="bad chunk manifest"):
+            chunkstore.ChunkManifest.from_json(tampered)
+
+    def test_manifest_garbage_json_raises_snapshot_error(self):
+        with pytest.raises(SnapshotError):
+            chunkstore.ChunkManifest.from_json(b"not json at all")
+
+
+class TestChunkSizeChangeAcrossChain:
+    """Regression: ``reconstruct_chain`` used the *newest* manifest's
+    chunk geometry to split the base image, corrupting any chain whose
+    ``crs_base_chunk_bytes`` changed between intervals."""
+
+    @staticmethod
+    def _hashes(blob, chunk_bytes):
+        return [
+            chunkstore.hash_chunk(c)
+            for c in chunkstore.split_chunks(blob, chunk_bytes)
+        ]
+
+    def test_delta_with_different_chunk_bytes_mid_chain(self, kernel):
+        fs = FS(kernel, "t", bandwidth_Bps=1e8, op_latency_s=0.001)
+        blob_a = bytes(range(20))
+        blob_b = blob_a[:5] + b"\xff" + blob_a[6:]
+        blob_c = blob_b[:17] + b"\xee" + blob_b[18:]
+
+        def build():
+            # interval 1: full image at 4-byte chunks
+            yield from fs.write("/c/1/image.pkl", blob_a)
+            yield from chunkstore.write_full_manifest(
+                fs, "/c/1", 4, len(blob_a), self._hashes(blob_a, 4), 1
+            )
+            # interval 2: delta at the same geometry
+            chunks_b = chunkstore.split_chunks(blob_b, 4)
+            hashes_b = self._hashes(blob_b, 4)
+            dirty = chunkstore.diff_chunks(hashes_b, self._hashes(blob_a, 4))
+            yield from chunkstore.write_delta(
+                fs, "/c/2", chunks_b, hashes_b, dirty, 4, 2, 1
+            )
+            # interval 3: the operator changed crs_base_chunk_bytes —
+            # this delta's indices are relative to 3-byte chunks
+            chunks_c = chunkstore.split_chunks(blob_c, 3)
+            hashes_c = self._hashes(blob_c, 3)
+            dirty = chunkstore.diff_chunks(hashes_c, self._hashes(blob_b, 3))
+            yield from chunkstore.write_delta(
+                fs, "/c/3", chunks_c, hashes_c, dirty, 3, 3, 2
+            )
+            blob, manifest = yield from chunkstore.reconstruct_chain(
+                fs, ["/c/1", "/c/2", "/c/3"], "image.pkl"
+            )
+            return blob, manifest
+
+        blob, manifest = run_gen(kernel, build())
+        assert blob == blob_c
+        assert manifest.chunk_bytes == 3
+
+    def test_legacy_base_adopts_first_delta_geometry(self, kernel):
+        fs = FS(kernel, "t", bandwidth_Bps=1e8, op_latency_s=0.001)
+        blob_a = bytes(range(20))
+        blob_b = blob_a[:5] + b"\xff" + blob_a[6:]
+
+        def build():
+            # pre-incremental layout: image only, no chunks.json
+            yield from fs.write("/c/1/image.pkl", blob_a)
+            chunks_b = chunkstore.split_chunks(blob_b, 3)
+            hashes_b = self._hashes(blob_b, 3)
+            dirty = chunkstore.diff_chunks(hashes_b, self._hashes(blob_a, 3))
+            yield from chunkstore.write_delta(
+                fs, "/c/2", chunks_b, hashes_b, dirty, 3, 2, 1
+            )
+            blob, _ = yield from chunkstore.reconstruct_chain(
+                fs, ["/c/1", "/c/2"], "image.pkl"
+            )
+            return blob
+
+        assert run_gen(kernel, build()) == blob_b
+
+
+class TestCASStaging:
+    def test_dedup_across_ranks_and_intervals(self):
+        universe = make_universe(4, params=CAS)
+        job = ompi_run(universe, "churn", 4, args=CHURN, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.35, wait=False)
+        universe.run_job_to_completion(job)
+        assert job.state.value == "finished"
+
+        stager = _stager(universe)
+        records = stager.job_records(job.jobid)
+        assert len(records) == 2
+        assert all(r.cas and r.state == "committed" for r in records)
+        r1, r2 = records
+        # every rank's 4 MB image counts toward the logical size...
+        assert r1.bytes_logical >= 4 * (4 << 20)
+        # ...but the zero ballast collapses to a handful of unique
+        # chunks: identical chunks across ranks ship exactly once
+        assert r1.bytes_moved < r1.bytes_logical / 2
+        # the second interval re-ships only chunks the store lacks
+        assert r2.bytes_moved <= r1.bytes_moved
+        assert r2.bytes_moved < r2.bytes_logical / 2
+
+        # rank directories on stable storage hold metadata only — the
+        # bytes live in the store, referenced per directory
+        stable = universe.cluster.stable_fs
+        store = stager.store
+        for ref in job.snapshots:
+            for rank in range(4):
+                local = ref.local_dir(rank)
+                assert stable.exists(f"{local}/chunks.json")
+                assert stable.exists(f"{local}/metadata.json")
+                assert not stable.exists(f"{local}/image.pkl")
+                assert store.refcount(_read_manifest(
+                    universe, ref, rank
+                ).hashes[0]) >= 1
+        stats = store.stats()
+        assert stats["blobs"] > 0
+        assert stats["owners"] == 8  # 2 intervals x 4 rank dirs
+        # stored bytes stay well under the logical bytes (the dedup
+        # contract E10 measures)
+        assert stats["stored_bytes"] < (r1.bytes_logical + r2.bytes_logical) / 2
+
+    def test_global_meta_marks_cas_interval(self):
+        universe = make_universe(4, params=CAS)
+        job = ompi_run(universe, "churn", 4, args=CHURN, wait=False)
+        handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        universe.run_job_to_completion(job)
+        ref = checkpoint_ref(handle)
+        meta = run_gen(
+            universe.kernel,
+            read_global_meta(universe.cluster.stable_fs, ref),
+        )
+        assert meta.cas is True
+        # CAS intervals are self-contained: restart never walks a chain
+        assert meta.base_chain == []
+
+    def test_shared_filem_falls_back_to_plain_staging(self):
+        # The shared-FS FILEM writes directly to stable storage; it
+        # cannot negotiate with the store, so CAS must quietly disable.
+        universe = make_universe(
+            4, params=dict(CAS, filem="shared")
+        )
+        job = ompi_run(universe, "churn", 4, args=CHURN, wait=False)
+        handle = ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        universe.run_job_to_completion(job)
+        ref = checkpoint_ref(handle)
+        records = _stager(universe).job_records(job.jobid)
+        assert records and not any(r.cas for r in records)
+        assert universe.cluster.stable_fs.exists(
+            f"{ref.local_dir(0)}/image.pkl"
+        )
+
+
+class TestCASRestart:
+    def test_restart_from_cas_snapshot_matches_baseline(self):
+        baseline = ompi_run(
+            make_universe(4), "jacobi", 4, args=JACOBI
+        ).results
+        universe = make_universe(4, params=CAS)
+        job = ompi_run(universe, "jacobi", 4, args=JACOBI, wait=False)
+        handle = ompi_checkpoint(
+            universe, job.jobid, at=0.08, terminate=True, wait=False
+        )
+        universe.run_job_to_completion(job)
+        assert job.state.value == "halted"
+        new_job = ompi_restart(universe, checkpoint_ref(handle))
+        assert new_job.state.value == "finished"
+        assert new_job.results == baseline
+
+    def test_chunk_loss_is_retryable_and_repaired_by_restaging(self):
+        """Losing a blob makes restart fail with a *retryable* error;
+        any later checkpoint that ships the chunk repairs the store and
+        the original snapshot restarts cleanly — nothing is ever
+        permanently blacklisted."""
+        universe = make_universe(4, params=CAS)
+        job1 = ompi_run(universe, "churn", 4, args=CHURN, wait=False)
+        h1 = ompi_checkpoint(universe, job1.jobid, at=0.1, wait=False)
+        universe.run_job_to_completion(job1)
+        ref1 = checkpoint_ref(h1)
+
+        stable = universe.cluster.stable_fs
+        store = _stager(universe).store
+        # the most frequent digest is the all-zero ballast chunk, which
+        # any later churn checkpoint is guaranteed to contain again
+        hashes = _read_manifest(universe, ref1, 0).hashes
+        victim = max(set(hashes), key=hashes.count)
+        assert store.has(victim)
+        run_gen(universe.kernel, stable.remove(store.blob_path(victim)))
+
+        with pytest.raises(RestartError, match="absent from the store"):
+            ompi_restart(universe, ref1)
+
+        # repair by re-staging: a new job's checkpoint offers the same
+        # digest, the store reports it missing, FILEM ships it again
+        job2 = ompi_run(universe, "churn", 4, args=CHURN, wait=False)
+        ompi_checkpoint(
+            universe, job2.jobid, at=universe.kernel.now + 0.1, wait=False
+        )
+        universe.run_job_to_completion(job2)
+        assert store.has(victim)
+
+        new_job = ompi_restart(universe, ref1)
+        assert new_job.state.value == "finished"
+
+    def test_autorecover_walks_back_past_chunk_loss(self):
+        """Recovery pre-verifies chunk presence: an interval with a
+        missing blob is skipped for this episode (not blacklisted) and
+        the walk-back lands on the older intact interval."""
+        universe = make_universe(
+            4, params=dict(CAS, orte_errmgr_autorecover="1")
+        )
+        args = dict(CHURN, loops=200)  # ~2 sim-seconds of runtime
+        job = ompi_run(universe, "churn", 4, args=args, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.5, wait=False)
+
+        def sabotage():
+            stable = universe.cluster.stable_fs
+            store = _stager(universe).store
+            ref1, ref2 = job.snapshots
+            held = set()
+            for rank in range(4):
+                manifest = yield from chunkstore.read_manifest(
+                    stable, ref1.local_dir(rank)
+                )
+                held.update(manifest.hashes)
+            manifest = yield from chunkstore.read_manifest(
+                stable, ref2.local_dir(0)
+            )
+            unique = [d for d in manifest.hashes if d not in held]
+            assert unique, "interval 2 shares every chunk with interval 1"
+            yield from stable.remove(store.blob_path(unique[0]))
+
+        universe.kernel.call_at(
+            0.8,
+            lambda: universe.hnp.proc.spawn_thread(
+                sabotage(), name="sabotage", daemon=True
+            ),
+        )
+        universe.cluster.failures.crash_node_at(0.9, "node03")
+        universe.run_job_to_completion(job)
+
+        errmgr = universe.hnp.errmgr
+        [record] = errmgr.recovery_log
+        assert record.recovered
+        assert parse_global_dirname(record.snapshot) == (job.jobid, 1)
+        final = universe.job(errmgr.recoveries[-1][1])
+        assert final.state.value == "finished"
+
+
+class TestSkipSetWalkBack:
+    def test_pick_checks_delta_deps_against_skip_set(self):
+        """A delta interval whose base failed a restart this episode
+        must not be picked — its chain runs through a known-bad ref."""
+        universe = make_universe(
+            4, params={"snapc_full_interval_every": "3"}
+        )
+        job = ompi_run(
+            universe, "churn", 4, args=dict(CHURN, loops=200), wait=False
+        )
+        ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.5, wait=False)
+        universe.run_job_to_completion(job)
+        ref1, ref2 = job.snapshots
+        m2 = run_gen(
+            universe.kernel,
+            read_global_meta(universe.cluster.stable_fs, ref2),
+        )
+        assert m2.kind == "delta" and ref1.path in m2.base_chain
+
+        errmgr = universe.hnp.errmgr
+        picked = run_gen(universe.kernel, errmgr._pick_snapshot(job))
+        assert picked is not None and picked[0].path == ref2.path
+        # skipping the newest ref walks back to the base
+        picked = run_gen(
+            universe.kernel, errmgr._pick_snapshot(job, {ref2.path})
+        )
+        assert picked is not None and picked[0].path == ref1.path
+        # skipping the *base* poisons every chain through it: the delta
+        # interval is rejected even though its own ref is not skipped
+        picked = run_gen(
+            universe.kernel, errmgr._pick_snapshot(job, {ref1.path})
+        )
+        assert picked is None
+
+
+class TestCASGarbageCollection:
+    def test_purge_interval_keeps_shared_chunks(self):
+        universe = make_universe(4, params=CAS)
+        job = ompi_run(
+            universe, "churn", 4, args=dict(CHURN, loops=80), wait=False
+        )
+        ompi_checkpoint(universe, job.jobid, at=0.1, wait=False)
+        ompi_checkpoint(universe, job.jobid, at=0.35, wait=False)
+        universe.run_job_to_completion(job)
+        ref1, ref2 = job.snapshots
+
+        stager = _stager(universe)
+        store = stager.store
+        stable = universe.cluster.stable_fs
+        blobs_before = store.stats()["blobs"]
+        shared = _read_manifest(universe, ref1, 0).hashes
+        victim_digest = max(set(shared), key=shared.count)
+        assert store.refcount(victim_digest) >= 2
+
+        def purge(ref):
+            meta = yield from read_global_meta(stable, ref)
+            removed, freed = yield from stager.purge_interval(ref, meta)
+            return removed, freed
+
+        run_gen(universe.kernel, purge(ref2))
+        # interval 1 still references the shared ballast chunk
+        assert store.has(victim_digest)
+        assert not stable.exists(ref2.path)
+        assert store.stats()["owners"] == 4
+        assert store.stats()["blobs"] <= blobs_before
+        # interval 1 must still restart after its sibling's teardown
+        new_job = ompi_restart(universe, ref1)
+        assert new_job.state.value == "finished"
+
+        removed, freed = run_gen(universe.kernel, purge(ref1))
+        assert removed > 0 and freed > 0
+        stats = store.stats()
+        assert stats == {
+            "blobs": 0, "stored_bytes": 0, "owners": 0, "referenced": 0
+        }

@@ -146,11 +146,20 @@ class TestTracedCheckpoint:
             "crs.capture",
             "crs.serialize",
             "crs.write",
-            "filem.gather",
+            "filem.stage_out",
             "filem.transfer",
         ):
             assert expected in names, f"missing span {expected!r}"
         assert any(name.startswith("inc.") for name in names)
+        # Staging runs a stage-out, not a bare gather: the transfers it
+        # issues are labelled with the stage_out op and the old
+        # "filem.gather" wrapper never appears on this path.
+        assert "filem.gather" not in names
+        stage_out = filter_spans(trace, name="filem.stage_out")
+        assert stage_out and all(s["attrs"]["entries"] >= 1 for s in stage_out)
+        transfers = filter_spans(trace, name="filem.transfer")
+        assert transfers
+        assert {s["attrs"]["op"] for s in transfers} == {"stage_out"}
         # One coordination span per rank, tagged with the epoch.
         coords = filter_spans(trace, name="crcp.coordinate")
         assert len(coords) == 2
