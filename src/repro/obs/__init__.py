@@ -17,18 +17,22 @@ from repro.obs.report import (
     filter_spans,
     load_json,
     phase_rows,
+    render_kernel_stats,
     render_phase_report,
     summarize,
 )
 from repro.obs.trace import NULL_SPAN, Span, TraceRecorder
+from repro.simenv.kernel import KernelStats
 
 __all__ = [
     "NULL_SPAN",
+    "KernelStats",
     "Span",
     "TraceRecorder",
     "filter_spans",
     "load_json",
     "phase_rows",
+    "render_kernel_stats",
     "render_phase_report",
     "summarize",
 ]

@@ -106,6 +106,28 @@ def render_phase_report(
     counters = trace.get("counters") or {}
     for key in sorted(counters):
         lines.append(f"counter {key} = {counters[key]:g}")
+    stats = trace.get("kernel_stats")
+    if stats:
+        lines.append(render_kernel_stats(stats))
+    return "\n".join(lines)
+
+
+def render_kernel_stats(stats: dict, title: str = "kernel stats") -> str:
+    """Monospace block over a ``kernel_stats`` dict (see SIMULATOR.md)."""
+    lines = [f"== {title} =="]
+    order = [
+        "events", "ready_hits", "heap_pushes", "heap_pops",
+        "peak_heap", "peak_ready", "threads_spawned", "threads_reaped",
+        "threads_live", "threads_dead", "waits_any", "waits_all",
+        "run_wall_s", "run_cpu_s", "events_per_sec", "events_per_cpu_sec",
+    ]
+    keys = order + sorted(set(stats) - set(order))
+    for key in keys:
+        if key not in stats:
+            continue
+        value = stats[key]
+        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"{key:<18} {shown:>14}")
     return "\n".join(lines)
 
 

@@ -53,7 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simenv.kernel import Kernel
 
 #: schema version stamped into every JSON export
-TRACE_SCHEMA_VERSION = 1
+#: (v2 added the ``kernel_stats`` block)
+TRACE_SCHEMA_VERSION = 2
 
 
 class _NullSpan:
@@ -160,6 +161,7 @@ class TraceRecorder:
             "sim_time_s": self.kernel.now,
             "spans": [span.to_dict() for span in self.spans],
             "counters": dict(self.counters),
+            "kernel_stats": self.kernel.stats_snapshot(),
         }
 
     def write_json(self, path: str) -> None:

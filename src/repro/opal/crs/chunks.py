@@ -25,6 +25,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.simenv.kernel import SimGen
+from repro.snapshot import pack_hashes, unpack_hashes
 from repro.util.errors import RestartError, SnapshotError
 from repro.vfs import path as vpath
 from repro.vfs.fsbase import FS
@@ -52,6 +53,8 @@ def hash_chunk(chunk: bytes) -> str:
     return hashlib.sha256(chunk).hexdigest()
 
 
+
+
 @dataclass
 class ChunkManifest:
     """Contents of a snapshot directory's ``chunks.json``."""
@@ -72,12 +75,35 @@ class ChunkManifest:
         return len(self.hashes)
 
     def to_json(self) -> bytes:
-        return json.dumps(asdict(self), sort_keys=True).encode()
+        # Serialized by hand: asdict() deep-copies every hash string,
+        # and JSON-encoding thousands of 64-char strings per manifest
+        # dominates capture cost.  Hashes travel as one packed hex
+        # string; a full image's ``present`` (the whole range) packs to
+        # null.
+        present: "list[int] | None" = self.present
+        if present == list(range(len(self.hashes))):
+            present = None
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "chunk_bytes": self.chunk_bytes,
+                "total_bytes": self.total_bytes,
+                "hashes": pack_hashes(self.hashes),
+                "present": present,
+                "base_interval": self.base_interval,
+                "interval": self.interval,
+            },
+            sort_keys=True,
+        ).encode()
 
     @classmethod
     def from_json(cls, raw: bytes) -> "ChunkManifest":
         try:
-            return cls(**json.loads(raw.decode()))
+            data = json.loads(raw.decode())
+            data["hashes"] = unpack_hashes(data.get("hashes", []))
+            if data.get("present") is None:
+                data["present"] = list(range(len(data["hashes"])))
+            return cls(**data)
         except (ValueError, TypeError, KeyError) as exc:
             raise SnapshotError(f"bad chunk manifest: {exc}") from exc
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.mca.component import Component
-from repro.simenv.kernel import SimGen, WaitEvent, join_all
+from repro.simenv.kernel import SimGen, WaitAll, WaitEvent
 from repro.util.errors import VFSError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,8 +124,7 @@ class FILEMComponent(Component):
                 bounded(gen), name=f"filem-{label}-{i}", daemon=True
             )
             events.append(thread.done)
-        joined = join_all(events, kernel, name=f"filem.{label}")
-        yield WaitEvent(joined)
+        yield WaitAll(events)
         return totals["bytes"]
 
 

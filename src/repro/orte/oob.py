@@ -14,7 +14,6 @@ real (small) price in the experiments.
 
 from __future__ import annotations
 
-import itertools
 import pickle
 from typing import TYPE_CHECKING, Any
 
@@ -71,8 +70,6 @@ def payload_nbytes(payload: Any) -> int:
 
 class RML:
     """Per-process routing message layer endpoint."""
-
-    _rpc_ids = itertools.count(1)
 
     def __init__(self, universe: "Universe", proc: "SimProcess"):
         self.universe = universe
@@ -143,7 +140,10 @@ class RML:
         """
         from repro.simenv.kernel import WaitEvent
 
-        rpc_id = next(RML._rpc_ids)
+        # kernel-scoped: universe-unique (the pump routes any payload
+        # carrying a known rpc_id to its waiter) yet deterministic
+        # across universes in one session
+        rpc_id = self.proc.kernel.next_id("rml.rpc")
         request = dict(payload)
         request["rpc_id"] = rpc_id
         event = self.proc.kernel.event(f"rpc-{rpc_id}")

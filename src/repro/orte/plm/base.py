@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from repro.mca.component import Component
 from repro.orte.job import ProcSpec
 from repro.orte.oob import TAG_LAUNCH, TAG_LAUNCH_ACK
-from repro.simenv.kernel import Delay, SimGen, WaitEvent, join_all
+from repro.simenv.kernel import Delay, SimGen, WaitAll, WaitEvent
 from repro.util.errors import LaunchError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,8 +83,7 @@ class PLMComponent(Component):
                 daemon=True,
             )
             done_events.append(thread.done)
-        joined = join_all(done_events, kernel, name="plm.launch")
-        yield WaitEvent(joined)
+        yield WaitAll(done_events)
         if errors:
             raise LaunchError("; ".join(errors))
         return len(by_node)

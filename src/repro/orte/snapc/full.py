@@ -45,7 +45,7 @@ from repro.orte.oob import (
 )
 from repro.orte.snapc.base import SNAPCComponent
 from repro.orte.snapc.staging import StagingCoordinator, StagingRecord
-from repro.simenv.kernel import Delay, WaitEvent, first_of, join_all
+from repro.simenv.kernel import Delay, WaitAll, WaitAny
 from repro.snapshot import (
     STAGE_COMMITTED,
     STAGE_FAILED,
@@ -203,9 +203,7 @@ class FullSNAPC(SNAPCComponent):
                 ).done
                 for rank in range(job.np)
             ]
-            yield WaitEvent(
-                join_all(abort_events, hnp.proc.kernel, name="snapc.abort")
-            )
+            yield WaitAll(abort_events)
             return None
 
         def contact(node_name: str, ranks: list[int]) -> "SimGen":
@@ -267,8 +265,7 @@ class FullSNAPC(SNAPCComponent):
                 daemon=True,
             )
             events.append(thread.done)
-        joined = join_all(events, hnp.proc.kernel, name="snapc.global")
-        yield WaitEvent(joined)
+        yield WaitAll(events)
         fanout_span.end(errors=len(errors))
 
         if errors or len(results) != job.np:
@@ -666,12 +663,9 @@ class FullSNAPC(SNAPCComponent):
             rpc_thread = orted.proc.spawn_thread(
                 do_rpc(), name=f"snapc-local-rpc-{rank}", daemon=True
             )
-            race = first_of(
-                orted.proc.kernel,
-                [rpc_thread.done, proc.exit_event],
-                name=f"snapc-local-race-{rank}",
+            index, value, exc = yield WaitAny(
+                [rpc_thread.done, proc.exit_event]
             )
-            index, value, exc = yield WaitEvent(race)
             if index == 0 and exc is None and value is not None:
                 results[rank] = value
                 if payload["terminate"] and value.get("ok"):
@@ -695,8 +689,7 @@ class FullSNAPC(SNAPCComponent):
                 one_rank(rank), name=f"snapc-local-{rank}", daemon=True
             )
             events.append(thread.done)
-        joined = join_all(events, orted.proc.kernel, name="snapc.local")
-        yield WaitEvent(joined)
+        yield WaitAll(events)
         local_span.end(
             ok=all(r.get("ok") for r in results.values())
         )

@@ -13,10 +13,13 @@ a checkpoint *notification thread*.
 from repro.simenv.kernel import (
     Delay,
     Kernel,
+    KernelStats,
     Queue,
     SimEvent,
     SimThread,
     Syscall,
+    WaitAll,
+    WaitAny,
     WaitEvent,
 )
 from repro.simenv.node import Node
@@ -38,10 +41,13 @@ __all__ = [
     "run_campaign",
     "Delay",
     "Kernel",
+    "KernelStats",
     "Queue",
     "SimEvent",
     "SimThread",
     "Syscall",
+    "WaitAll",
+    "WaitAny",
     "WaitEvent",
     "Node",
     "SimProcess",

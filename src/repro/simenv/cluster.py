@@ -35,6 +35,10 @@ class ClusterSpec:
     local_disk_Bps: float = 240e6
     stable_Bps: float = 200e6
     os_tags: list[str] = field(default_factory=list)
+    #: ``False`` selects the legacy (pre-optimization) kernel scheduling
+    #: discipline — per-resume heap closures, watcher-thread combinators,
+    #: per-item transfer delays — for A/B benchmarking (see SIMULATOR.md)
+    fast_paths: bool = True
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -46,8 +50,9 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec | None = None):
         self.spec = spec or ClusterSpec()
-        self.kernel = Kernel()
+        self.kernel = Kernel(fast_paths=self.spec.fast_paths)
         self.nodes: list[Node] = []
+        self._nodes_by_name: dict[str, Node] = {}
         self.fabrics: dict[str, Fabric] = {}
         self.stable_fs = SharedFS(
             self.kernel, bandwidth_Bps=self.spec.stable_Bps
@@ -74,16 +79,17 @@ class Cluster:
             for fabric in self.fabrics.values():
                 fabric.attach(node)
             self.nodes.append(node)
+            self._nodes_by_name[node.name] = node
 
     # -- lookups ------------------------------------------------------------
 
     def node(self, name_or_index: "str | int") -> Node:
         if isinstance(name_or_index, int):
             return self.nodes[name_or_index]
-        for node in self.nodes:
-            if node.name == name_or_index:
-                return node
-        raise KeyError(f"no node named {name_or_index!r}")
+        try:
+            return self._nodes_by_name[name_or_index]
+        except KeyError:
+            raise KeyError(f"no node named {name_or_index!r}") from None
 
     def fabric(self, name: str) -> Fabric:
         try:

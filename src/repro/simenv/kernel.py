@@ -8,18 +8,36 @@ Threads are Python generators driven by the kernel.  A thread yields
   the yield expression evaluates to *value*.  ``event.fail(exc)``
   resumes the waiter by raising *exc* inside the generator, so failures
   propagate as ordinary exceptions.
+* ``WaitAny(events)`` — resume when the first of several events
+  settles; evaluates to ``(index, value, exc)``.
+* ``WaitAll(events)`` — resume when every event has fired; evaluates
+  to the list of values, or raises the first failure.
 
 Higher layers build blocking operations as generator functions that
-``yield``/``yield from`` down to these two primitives, SimPy-style.
+``yield``/``yield from`` down to these primitives, SimPy-style.
 
-Determinism: the event queue breaks time ties with a monotonically
-increasing sequence number, so two runs with the same inputs schedule
-identically.  There is no real-time anywhere in the kernel.
+Scheduling discipline (see docs/SIMULATOR.md): entries execute in
+``(time, seq)`` order, where ``seq`` is a monotonically increasing
+sequence number shared by the time heap and the same-timestamp *ready
+deque*.  Resumes and zero-delay wakeups go onto the ready deque as
+plain ``(seq, thread, value, exc)`` tuples — no heap traffic, no
+closure allocation — while future wakeups go onto the heap.  Because
+both structures carry the global sequence number, the total execution
+order is identical to a heap-only kernel.  ``fast_paths=False``
+restores the pre-optimization behaviour (heap-only scheduling,
+watcher-thread combinators, per-file transfer delays downstream) for
+A/B measurement; determinism holds in both modes.
+
+Determinism: there is no real time anywhere in the scheduling logic,
+and time ties are broken by ``seq``, so two runs with the same inputs
+schedule identically.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _time
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from repro.util.errors import DeadlockError, SimError
@@ -63,6 +81,40 @@ class WaitEvent(Syscall):
         return f"WaitEvent({self.event})"
 
 
+class WaitAny(Syscall):
+    """Block until the first of *events* settles.
+
+    The yield expression evaluates to ``(index, value, exc)`` —
+    failures settle the wait too, with ``exc`` set, rather than raising
+    in the waiter (callers decide how to treat a losing failure).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: "list[SimEvent]"):
+        self.events = list(events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitAny({len(self.events)} events)"
+
+
+class WaitAll(Syscall):
+    """Block until every one of *events* has fired.
+
+    The yield expression evaluates to the list of values in event
+    order.  If any event fails, the first failure is raised in the
+    waiter immediately (remaining events are detached).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: "list[SimEvent]"):
+        self.events = list(events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitAll({len(self.events)} events)"
+
+
 class SimEvent:
     """One-shot event: fires once with a value or an exception.
 
@@ -77,7 +129,8 @@ class SimEvent:
         self._fired = False
         self._value: Any = None
         self._exc: BaseException | None = None
-        self._waiters: list[SimThread] = []
+        #: waiters are SimThreads or ``(_MultiWait, index)`` tuples
+        self._waiters: list = []
 
     @property
     def fired(self) -> bool:
@@ -99,14 +152,20 @@ class SimEvent:
 
     def _release(self) -> None:
         waiters, self._waiters = self._waiters, []
-        for thread in waiters:
-            thread._kernel._resume(thread, self._value, self._exc)
+        value, exc = self._value, self._exc
+        for waiter in waiters:
+            if type(waiter) is tuple:
+                multi, index = waiter
+                multi._on_event(index, value, exc)
+            else:
+                waiter._kernel._resume(waiter, value, exc)
 
     def _add_waiter(self, thread: "SimThread") -> None:
         if self._fired:
             thread._kernel._resume(thread, self._value, self._exc)
         else:
             self._waiters.append(thread)
+            thread._waiting = self
 
     def _discard_waiter(self, thread: "SimThread") -> None:
         try:
@@ -119,6 +178,89 @@ class SimEvent:
         return f"<SimEvent {self.name!r} {state}>"
 
 
+class _MultiWait:
+    """One registration across several events (WaitAny/WaitAll).
+
+    Completion either resumes a blocked thread (the syscall path) or
+    settles an output :class:`SimEvent` (the ``first_of``/``join_all``
+    combinators).  No watcher threads are involved: the wait registers
+    ``(self, index)`` entries directly in each event's waiter list and
+    detaches the leftovers when it settles.
+    """
+
+    __slots__ = ("kernel", "mode", "thread", "target", "settled",
+                 "remaining", "results", "_regs")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        events: "list[SimEvent]",
+        mode: str,
+        thread: "SimThread | None" = None,
+        target: "SimEvent | None" = None,
+    ):
+        self.kernel = kernel
+        self.mode = mode  # "any" | "all"
+        self.thread = thread
+        self.target = target
+        self.settled = False
+        self.remaining = len(events)
+        self.results: list[Any] = [None] * len(events)
+        self._regs: list = []
+        if thread is not None:
+            thread._waiting = self
+        if mode == "all" and not events:
+            self._complete([], None)
+            return
+        for i, event in enumerate(events):
+            if self.settled:
+                break
+            if event._fired:
+                self._on_event(i, event._value, event._exc)
+            else:
+                entry = (self, i)
+                event._waiters.append(entry)
+                self._regs.append((event, entry))
+
+    def _on_event(self, index: int, value: Any, exc: BaseException | None) -> None:
+        if self.settled:
+            return
+        if self.mode == "any":
+            self._complete((index, value, exc), None)
+        elif exc is not None:
+            self._complete(None, exc)
+        else:
+            self.results[index] = value
+            self.remaining -= 1
+            if self.remaining == 0:
+                self._complete(list(self.results), None)
+
+    def _complete(self, value: Any, exc: BaseException | None) -> None:
+        self.settled = True
+        self._detach()
+        if self.thread is not None:
+            self.kernel._resume(self.thread, value, exc)
+        elif exc is not None:
+            if not self.target._fired:
+                self.target.fail(exc)
+        elif not self.target._fired:
+            self.target.fire(value)
+
+    def _detach(self) -> None:
+        for event, entry in self._regs:
+            if not event._fired:
+                try:
+                    event._waiters.remove(entry)
+                except ValueError:
+                    pass
+        self._regs = []
+
+    def _discard_waiter(self, thread: "SimThread") -> None:
+        # The blocked thread was killed: abandon the whole wait.
+        self.settled = True
+        self._detach()
+
+
 class Queue:
     """Unbounded FIFO mailbox with blocking ``get``.
 
@@ -129,18 +271,18 @@ class Queue:
     def __init__(self, kernel: "Kernel", name: str = ""):
         self._kernel = kernel
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[SimEvent] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).fire(item)
+            self._getters.popleft().fire(item)
         else:
             self._items.append(item)
 
     def get(self) -> SimGen:
         if self._items:
-            return_value = self._items.pop(0)
+            return_value = self._items.popleft()
             if False:  # pragma: no cover - keeps this a generator fn
                 yield
             return return_value
@@ -159,7 +301,7 @@ class Queue:
                 # oldest; otherwise withdraw the stale getter so a
                 # future ``put`` does not fire into the void.
                 if event.fired:
-                    self._items.insert(0, event._value)
+                    self._items.appendleft(event._value)
                 else:
                     try:
                         self._getters.remove(event)
@@ -169,7 +311,7 @@ class Queue:
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
         if self._items:
-            return True, self._items.pop(0)
+            return True, self._items.popleft()
         return False, None
 
     def __len__(self) -> int:
@@ -184,8 +326,6 @@ class SimThread:
     message pumps, coordinator listeners) are daemons.
     """
 
-    _ids = iter(range(1, 1 << 60))
-
     def __init__(
         self,
         kernel: "Kernel",
@@ -195,11 +335,15 @@ class SimThread:
     ):
         self._kernel = kernel
         self._gen = gen
-        self.tid = next(SimThread._ids)
+        self.tid = kernel._new_tid()
         self.name = name or f"thread-{self.tid}"
         self.daemon = daemon
         self.alive = True
         self.blocked_on: Syscall | None = None
+        #: what the thread is registered with while blocked on an
+        #: event-shaped wait (a SimEvent or a _MultiWait); kill()
+        #: detaches through this uniformly.
+        self._waiting: "SimEvent | _MultiWait | None" = None
         self.done = SimEvent(f"done:{self.name}")
         self.result: Any = None
 
@@ -214,8 +358,10 @@ class SimThread:
         if not self.alive:
             return
         self.alive = False
-        if isinstance(self.blocked_on, WaitEvent):
-            self.blocked_on.event._discard_waiter(self)
+        self._kernel._note_death()
+        if self._waiting is not None:
+            self._waiting._discard_waiter(self)
+            self._waiting = None
         self.blocked_on = None
         if self._kernel._current is self:
             # Self-kill: the generator is executing right now; it will
@@ -232,18 +378,85 @@ class SimThread:
         return f"<SimThread {self.name} {state}>"
 
 
-class Kernel:
-    """The discrete-event scheduler."""
+class KernelStats:
+    """Always-on counter block for the scheduler hot path.
+
+    Counters are plain integer attribute bumps so they are cheap enough
+    to keep on unconditionally; ``repro.obs`` exports the block through
+    every trace (see docs/SIMULATOR.md for field semantics).
+    """
+
+    __slots__ = (
+        "events", "ready_hits", "heap_pushes", "heap_pops",
+        "peak_heap", "peak_ready", "threads_spawned", "threads_reaped",
+        "waits_any", "waits_all", "run_wall_s", "run_cpu_s",
+    )
 
     def __init__(self) -> None:
+        self.events = 0          # total entries dispatched by run()
+        self.ready_hits = 0      # entries served from the ready deque
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.peak_heap = 0
+        self.peak_ready = 0
+        self.threads_spawned = 0
+        self.threads_reaped = 0  # dead threads compacted out of _threads
+        self.waits_any = 0
+        self.waits_all = 0
+        self.run_wall_s = 0.0    # wall-clock spent inside run()
+        self.run_cpu_s = 0.0     # process CPU time spent inside run()
+
+    def to_dict(self) -> dict:
+        wall = self.run_wall_s
+        cpu = self.run_cpu_s
+        return {
+            "events": self.events,
+            "ready_hits": self.ready_hits,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "peak_heap": self.peak_heap,
+            "peak_ready": self.peak_ready,
+            "threads_spawned": self.threads_spawned,
+            "threads_reaped": self.threads_reaped,
+            "waits_any": self.waits_any,
+            "waits_all": self.waits_all,
+            "run_wall_s": wall,
+            "run_cpu_s": cpu,
+            "events_per_sec": (self.events / wall) if wall > 0 else 0.0,
+            # CPU-time variant: immune to co-tenant scheduling noise,
+            # so benchmarks gate on this (the simulator is one CPU-bound
+            # thread — process time *is* the work done)
+            "events_per_cpu_sec": (self.events / cpu) if cpu > 0 else 0.0,
+        }
+
+
+class Kernel:
+    """The discrete-event scheduler.
+
+    ``fast_paths=False`` selects the legacy scheduling discipline
+    (every resume through the heap as a closure, watcher-thread
+    combinators, per-item transfer delays in the vfs/netsim layers) so
+    benchmarks can measure the fast path against its predecessor inside
+    one process.  Both modes are individually deterministic.
+    """
+
+    def __init__(self, fast_paths: bool = True) -> None:
         from repro.obs.trace import TraceRecorder
 
         self.now: float = 0.0
-        self._pq: list[tuple[float, int, Callable[[], None]]] = []
+        self.fast_paths = fast_paths
+        self._pq: list[tuple] = []
+        #: same-timestamp run queue: (seq, thread, value, exc)
+        self._ready: deque[tuple] = deque()
         self._seq = 0
+        self._tid = 0
+        self._pid = 999
+        self._id_counters: dict[str, int] = {}
         self._threads: list[SimThread] = []
+        self._dead = 0
         self._running = False
         self._current: "SimThread | None" = None
+        self.stats = KernelStats()
         #: optional trace callback ``(time, thread_name, event_str)``
         self.trace: Callable[[float, str, str], None] | None = None
         #: structured span/counter recorder (disabled by default; every
@@ -255,11 +468,28 @@ class Kernel:
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         if when < self.now:
             raise SimError(f"cannot schedule in the past ({when} < {self.now})")
-        heapq.heappush(self._pq, (when, self._seq, fn))
-        self._seq += 1
+        self._push(when, fn)
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> None:
         self.call_at(self.now + delay, fn)
+
+    def _push(self, when: float, item: Any) -> None:
+        """Heap-schedule *item* (a callable, or a SimThread to wake)."""
+        heapq.heappush(self._pq, (when, self._seq, item))
+        self._seq += 1
+        stats = self.stats
+        stats.heap_pushes += 1
+        if len(self._pq) > stats.peak_heap:
+            stats.peak_heap = len(self._pq)
+
+    def _ready_push(
+        self, thread: SimThread, value: Any, exc: BaseException | None
+    ) -> None:
+        """Queue a same-timestamp wakeup, bypassing the heap."""
+        self._ready.append((self._seq, thread, value, exc))
+        self._seq += 1
+        if len(self._ready) > self.stats.peak_ready:
+            self.stats.peak_ready = len(self._ready)
 
     def event(self, name: str = "") -> SimEvent:
         return SimEvent(name)
@@ -267,19 +497,71 @@ class Kernel:
     def queue(self, name: str = "") -> Queue:
         return Queue(self, name)
 
+    @property
+    def pending(self) -> bool:
+        """True while anything remains scheduled (heap or ready deque)."""
+        return bool(self._pq or self._ready)
+
     # -- threads ------------------------------------------------------------
+
+    def _new_tid(self) -> int:
+        self._tid += 1
+        return self._tid
+
+    def new_pid(self) -> int:
+        """Deterministic per-kernel pid allocator (see SimProcess).
+
+        A module-global counter would leak across universes in one
+        session: pid digits appear in process labels, labels appear in
+        pickled messages, and message *sizes* drive transfer times — so
+        a shared counter makes same-seed runs drift by fractions of a
+        microsecond.
+        """
+        self._pid += 1
+        return self._pid
+
+    def next_id(self, scope: str) -> int:
+        """Deterministic kernel-scoped counter (1, 2, 3, ... per scope).
+
+        For ids that end up inside simulated messages (rpc correlation
+        ids, tool names): the same-seed-same-schedule guarantee requires
+        them to restart with every universe, never drift with a module
+        global.
+        """
+        n = self._id_counters.get(scope, 0) + 1
+        self._id_counters[scope] = n
+        return n
 
     def spawn(self, gen: SimGen, name: str = "", daemon: bool = False) -> SimThread:
         thread = SimThread(self, gen, name=name, daemon=daemon)
         self._threads.append(thread)
+        self.stats.threads_spawned += 1
         self._resume(thread, None, None)
         return thread
+
+    def _note_death(self) -> None:
+        """Account one thread death; periodically reap the dead.
+
+        Compaction keeps :attr:`_threads` (and with it the deadlock
+        scan) bounded by the number of *live* threads instead of every
+        thread ever spawned — long campaign sweeps create millions.
+        """
+        self._dead += 1
+        if self._dead >= 64 and self._dead * 2 >= len(self._threads):
+            alive = [t for t in self._threads if t.alive]
+            self.stats.threads_reaped += len(self._threads) - len(alive)
+            self._threads = alive
+            self._dead = 0
 
     def _resume(
         self, thread: SimThread, value: Any, exc: BaseException | None
     ) -> None:
         thread.blocked_on = None
-        self.call_at(self.now, lambda: self._step(thread, value, exc))
+        thread._waiting = None
+        if self.fast_paths:
+            self._ready_push(thread, value, exc)
+        else:
+            self.call_at(self.now, lambda: self._step(thread, value, exc))
 
     def _step(
         self, thread: SimThread, value: Any, exc: BaseException | None
@@ -293,7 +575,9 @@ class Kernel:
             else:
                 syscall = thread._gen.send(value)
         except StopIteration as stop:
-            thread.alive = False
+            if thread.alive:
+                thread.alive = False
+                self._note_death()
             thread.result = stop.value
             if not thread.done.fired:
                 thread.done.fire(stop.value)
@@ -301,7 +585,9 @@ class Kernel:
                 self.trace(self.now, thread.name, "exit")
             return
         except BaseException as err:
-            thread.alive = False
+            if thread.alive:
+                thread.alive = False
+                self._note_death()
             if not thread.done.fired:
                 thread.done.fail(err)
             if self.trace:
@@ -312,16 +598,37 @@ class Kernel:
 
         thread.blocked_on = syscall
         if isinstance(syscall, Delay):
-            self.call_later(
-                syscall.seconds, lambda: self._step_if_alive(thread)
-            )
+            seconds = syscall.seconds
+            if seconds == 0.0 and self.fast_paths:
+                self._ready_push(thread, None, None)
+            else:
+                self._push(self.now + seconds, thread)
         elif isinstance(syscall, WaitEvent):
             syscall.event._add_waiter(thread)
+        elif isinstance(syscall, WaitAny):
+            self.stats.waits_any += 1
+            if self.fast_paths:
+                _MultiWait(self, syscall.events, "any", thread=thread)
+            else:
+                _watcher_first_of(self, syscall.events, "waitany")._add_waiter(
+                    thread
+                )
+        elif isinstance(syscall, WaitAll):
+            self.stats.waits_all += 1
+            if self.fast_paths:
+                _MultiWait(self, syscall.events, "all", thread=thread)
+            else:
+                _watcher_join_all(syscall.events, self, "waitall")._add_waiter(
+                    thread
+                )
         else:
             error = SimError(
                 f"thread {thread.name} yielded non-syscall {syscall!r}"
             )
-            self.call_at(self.now, lambda: self._step(thread, None, error))
+            if self.fast_paths:
+                self._ready_push(thread, None, error)
+            else:
+                self.call_at(self.now, lambda: self._step(thread, None, error))
 
     def _step_if_alive(self, thread: SimThread) -> None:
         if thread.alive:
@@ -339,15 +646,44 @@ class Kernel:
         if self._running:
             raise SimError("kernel.run() is not reentrant")
         self._running = True
+        pq = self._pq
+        ready = self._ready
+        stats = self.stats
+        wall0 = _time.perf_counter()
+        cpu0 = _time.process_time()
         try:
-            while self._pq:
-                when, _, fn = heapq.heappop(self._pq)
+            while pq or ready:
+                # Global (time, seq) order: the ready deque holds only
+                # entries stamped at the current time, so the heap wins
+                # only when its head is due *now* with a smaller seq.
+                if ready and not (
+                    pq and pq[0][0] <= self.now and pq[0][1] < ready[0][0]
+                ):
+                    _, thread, value, exc = ready.popleft()
+                    stats.events += 1
+                    stats.ready_hits += 1
+                    if thread.alive:
+                        thread.blocked_on = None
+                        self._step(thread, value, exc)
+                    continue
+                entry = heapq.heappop(pq)
+                when, _, item = entry
                 if until is not None and when > until:
-                    heapq.heappush(self._pq, (when, 0, fn))
+                    # Re-push untouched: the original seq keeps the
+                    # tie-break invariant self-evident across pauses.
+                    heapq.heappush(pq, entry)
+                    stats.heap_pushes += 1
                     self.now = until
                     return self.now
                 self.now = when
-                fn()
+                stats.events += 1
+                stats.heap_pops += 1
+                if type(item) is SimThread:
+                    if item.alive:
+                        item.blocked_on = None
+                        self._step(item, None, None)
+                else:
+                    item()
             blocked = [
                 t.name
                 for t in self._threads
@@ -358,6 +694,8 @@ class Kernel:
             return self.now
         finally:
             self._running = False
+            stats.run_wall_s += _time.perf_counter() - wall0
+            stats.run_cpu_s += _time.process_time() - cpu0
 
     def run_until_complete(self, threads: "SimThread | Iterable[SimThread]") -> Any:
         """Run until the given thread(s) finish; return last result.
@@ -371,7 +709,7 @@ class Kernel:
         else:
             targets = list(threads)
         while any(t.alive for t in targets):
-            if not self._pq:
+            if not self.pending:
                 raise DeadlockError([t.name for t in targets if t.alive])
             self.run()
         result = None
@@ -385,12 +723,53 @@ class Kernel:
     def live_threads(self) -> list[SimThread]:
         return [t for t in self._threads if t.alive]
 
+    def stats_snapshot(self) -> dict:
+        """The :class:`KernelStats` block plus live/dead thread counts."""
+        out = self.stats.to_dict()
+        live = sum(1 for t in self._threads if t.alive)
+        out["threads_live"] = live
+        out["threads_dead"] = len(self._threads) - live
+        return out
+
 
 def first_of(
-    kernel: Kernel, events: list[SimEvent], name: str = "first"
+    kernel: Kernel, events: "list[SimEvent]", name: str = "first"
 ) -> SimEvent:
     """Return an event firing with ``(index, value, exc)`` of whichever
-    input settles first (failures settle too, with ``exc`` set)."""
+    input settles first (failures settle too, with ``exc`` set).
+
+    Threads that are about to block on the result should yield
+    :class:`WaitAny` directly; this combinator exists for callers that
+    need a composable :class:`SimEvent`.  It spawns no watcher threads.
+    """
+    if not kernel.fast_paths:
+        return _watcher_first_of(kernel, events, name)
+    winner = kernel.event(name)
+    _MultiWait(kernel, events, "any", target=winner)
+    return winner
+
+
+def join_all(events: "list[SimEvent]", kernel: Kernel, name: str = "join") -> SimEvent:
+    """Return an event that fires when every input event has fired.
+
+    If any input fails, the join fails with the first failure.  Like
+    :func:`first_of` this spawns no watcher threads; blocking callers
+    should prefer yielding :class:`WaitAll`.
+    """
+    if not kernel.fast_paths:
+        return _watcher_join_all(events, kernel, name)
+    joined = kernel.event(name)
+    _MultiWait(kernel, events, "all", target=joined)
+    return joined
+
+
+# -- legacy (pre-fast-path) combinators, kept for A/B benchmarking ----------
+
+
+def _watcher_first_of(
+    kernel: Kernel, events: "list[SimEvent]", name: str = "first"
+) -> SimEvent:
+    """Watcher-thread ``first_of``: one daemon thread per input event."""
     winner = kernel.event(name)
 
     def make_watcher(i: int, ev: SimEvent) -> SimGen:
@@ -411,11 +790,10 @@ def first_of(
     return winner
 
 
-def join_all(events: list[SimEvent], kernel: Kernel, name: str = "join") -> SimEvent:
-    """Return an event that fires when every input event has fired.
-
-    If any input fails, the join fails with the first failure.
-    """
+def _watcher_join_all(
+    events: "list[SimEvent]", kernel: Kernel, name: str = "join"
+) -> SimEvent:
+    """Watcher-thread ``join_all``: one daemon thread per input event."""
     joined = kernel.event(name)
     remaining = {"n": len(events)}
     if not events:

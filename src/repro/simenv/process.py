@@ -11,7 +11,6 @@ an OS-like pid, and kill semantics that fail every thread inside it.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.simenv.kernel import SimGen, SimThread
@@ -21,9 +20,6 @@ from repro.util.ids import ProcessName
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simenv.kernel import Kernel
     from repro.simenv.node import Node
-
-_pids = itertools.count(1000)
-
 
 class SimProcess:
     """One simulated OS process."""
@@ -37,7 +33,7 @@ class SimProcess:
         self.node = node
         self.kernel: "Kernel" = node.kernel
         self.name = name
-        self.pid = next(_pids)
+        self.pid = self.kernel.new_pid()
         self.label = label or f"proc{self.pid}"
         self.alive = True
         self.exit_event = self.kernel.event(f"exit:{self.label}")
@@ -59,6 +55,12 @@ class SimProcess:
             gen, name=f"{self.label}/{name or 'main'}", daemon=daemon
         )
         self.threads.append(thread)
+        # Long-lived daemons (orteds) spawn a thread per RPC served;
+        # compact finished ones so the list stays bounded by live work.
+        if len(self.threads) >= 32:
+            live = [t for t in self.threads if t.alive]
+            if len(live) * 2 <= len(self.threads):
+                self.threads = live
         return thread
 
     @property

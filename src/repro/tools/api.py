@@ -61,7 +61,7 @@ class ToolHandle:
         """
         kernel = self.universe.kernel
         while self.reply is None:
-            if not kernel._pq:
+            if not kernel.pending:
                 raise ReproError("tool cannot complete: simulation drained")
             kernel.run()
         return self.reply
@@ -71,7 +71,7 @@ class ToolHandle:
         lands, leaving the simulation within one step of that moment."""
         kernel = self.universe.kernel
         while self.reply is None:
-            if not kernel._pq:
+            if not kernel.pending:
                 raise ReproError("tool cannot complete: simulation drained")
             kernel.run(until=kernel.now + step)
         return self.reply

@@ -98,6 +98,55 @@ class ChunkStore:
         written = yield from self.fs.write(self.blob_path(digest), data)
         return written
 
+    def put_many(self, chunks: "list[tuple[str, bytes]]") -> SimGen:
+        """Store several chunks under one aggregate delay.
+
+        Returns total bytes written (dedup hits contribute 0 but still
+        pay one ``op_latency`` each, exactly like a :meth:`put` loop).
+        Duplicate digests within the batch count as hits after the
+        first occurrence.
+        """
+        hit_time = 0.0
+        fresh: list[tuple[str, bytes]] = []
+        seen: set[str] = set()
+        for digest, data in chunks:
+            if chunk_digest(data) != digest:
+                raise SnapshotError(
+                    f"chunk payload does not match digest {digest[:12]}…"
+                )
+            if digest in seen or self.has(digest):
+                hit_time += self.fs.op_latency_s
+            else:
+                seen.add(digest)
+                fresh.append((self.blob_path(digest), data))
+        if hit_time:
+            yield Delay(hit_time)
+        if fresh:
+            written = yield from self.fs.write_many(fresh)
+        else:
+            written = 0
+        return written
+
+    def get_many(self, digests: "list[str]") -> SimGen:
+        """Read and verify several chunks under one aggregate delay.
+
+        Returns the blobs in input order; duplicate digests are read
+        once and fanned back out (a repeated chunk is one store blob).
+        """
+        unique = list(dict.fromkeys(digests))
+        for digest in unique:
+            if not self.fs.exists(self.blob_path(digest)):
+                raise SnapshotError(f"chunk {digest[:12]}… absent from store")
+        blobs = yield from self.fs.read_many(
+            [self.blob_path(d) for d in unique]
+        )
+        by_digest: dict[str, bytes] = {}
+        for digest, data in zip(unique, blobs):
+            if chunk_digest(data) != digest:
+                raise SnapshotError(f"chunk {digest[:12]}… fails verification")
+            by_digest[digest] = data
+        return [by_digest[d] for d in digests]
+
     def get(self, digest: str) -> SimGen:
         """Read and verify one chunk; raises ``SnapshotError`` when the
         chunk is absent or its content no longer matches its address."""

@@ -48,8 +48,29 @@ class FS:
         self._files: dict[str, bytes] = {}
         self._mtimes: dict[str, float] = {}
         self._dirs: set[str] = {"/"}
+        #: refcount of files living under each implicit directory, so
+        #: ``isdir``/``exists`` misses are O(depth) dict probes instead
+        #: of a scan over every file (the CAS probes absent blob paths
+        #: constantly)
+        self._file_dirs: dict[str, int] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+
+    def _index_file(self, norm: str) -> None:
+        d = vpath.dirname(norm)
+        while d and d != "/":
+            self._file_dirs[d] = self._file_dirs.get(d, 0) + 1
+            d = vpath.dirname(d)
+
+    def _unindex_file(self, norm: str) -> None:
+        d = vpath.dirname(norm)
+        while d and d != "/":
+            count = self._file_dirs.get(d, 0) - 1
+            if count <= 0:
+                self._file_dirs.pop(d, None)
+            else:
+                self._file_dirs[d] = count
+            d = vpath.dirname(d)
 
     # -- availability ---------------------------------------------------------
 
@@ -62,6 +83,11 @@ class FS:
             raise VFSError(f"filesystem {self.name} is unreachable")
 
     def _io_time(self, nbytes: int) -> float:
+        """Cost of one timed operation moving *nbytes*.
+
+        Subclasses override this (not ``read``/``write``) so batched
+        operations price each file identically to a per-file loop.
+        """
         return self.op_latency_s + nbytes / self.bandwidth_Bps
 
     # -- blocking (timed) operations -------------------------------------------
@@ -74,6 +100,8 @@ class FS:
         norm = vpath.normalize(path)
         yield Delay(self._io_time(len(data)))
         self._check()
+        if norm not in self._files:
+            self._index_file(norm)
         self._files[norm] = bytes(data)
         self._mtimes[norm] = self.kernel.now
         self._dirs.add(vpath.dirname(norm))
@@ -92,6 +120,60 @@ class FS:
         self.bytes_read += len(data)
         return data
 
+    def write_many(self, items: "list[tuple[str, bytes]]") -> SimGen:
+        """Write several files under one aggregate delay.
+
+        Total simulated time equals the per-file loop (each file still
+        pays its own ``_io_time``), but the kernel processes one event
+        instead of N — the batching half of the fast-path work (see
+        docs/SIMULATOR.md).
+        """
+        self._check()
+        normed: list[tuple[str, bytes]] = []
+        total_time = 0.0
+        for path, data in items:
+            if not isinstance(data, (bytes, bytearray)):
+                raise VFSError(
+                    f"file data must be bytes, got {type(data).__name__}"
+                )
+            normed.append((vpath.normalize(path), bytes(data)))
+            total_time += self._io_time(len(data))
+        if total_time:
+            yield Delay(total_time)
+        self._check()
+        written = 0
+        for norm, data in normed:
+            if norm not in self._files:
+                self._index_file(norm)
+            self._files[norm] = data
+            self._mtimes[norm] = self.kernel.now
+            self._dirs.add(vpath.dirname(norm))
+            written += len(data)
+        self.bytes_written += written
+        return written
+
+    def read_many(self, paths: "list[str]") -> SimGen:
+        """Read several files under one aggregate delay.
+
+        Returns the contents in input order; same total simulated time
+        as a per-file ``read`` loop.
+        """
+        self._check()
+        blobs: list[bytes] = []
+        total_time = 0.0
+        for path in paths:
+            norm = vpath.normalize(path)
+            if norm not in self._files:
+                raise VFSError(f"{self.name}: no such file {norm}")
+            data = self._files[norm]
+            blobs.append(data)
+            total_time += self._io_time(len(data))
+        if total_time:
+            yield Delay(total_time)
+        self._check()
+        self.bytes_read += sum(len(b) for b in blobs)
+        return blobs
+
     def remove(self, path: str) -> SimGen:
         """Remove one file."""
         self._check()
@@ -99,6 +181,8 @@ class FS:
         if norm not in self._files:
             raise VFSError(f"{self.name}: no such file {norm}")
         yield Delay(self.op_latency_s)
+        if norm in self._files:
+            self._unindex_file(norm)
         self._files.pop(norm, None)
         self._mtimes.pop(norm, None)
         return None
@@ -109,6 +193,8 @@ class FS:
         victims = self.list_tree(prefix)
         yield Delay(self.op_latency_s * max(1, len(victims)))
         for path in victims:
+            if path in self._files:
+                self._unindex_file(path)
             self._files.pop(path, None)
             self._mtimes.pop(path, None)
         norm = vpath.normalize(prefix)
@@ -129,10 +215,7 @@ class FS:
     def isdir(self, path: str) -> bool:
         self._check()
         norm = vpath.normalize(path)
-        if norm in self._dirs:
-            return True
-        prefix = norm.rstrip("/") + "/"
-        return any(f.startswith(prefix) for f in self._files)
+        return norm in self._dirs or norm in self._file_dirs
 
     def stat(self, path: str) -> FileStat:
         self._check()
@@ -164,6 +247,8 @@ class FS:
         """Untimed write for test setup."""
         self._check()
         norm = vpath.normalize(path)
+        if norm not in self._files:
+            self._index_file(norm)
         self._files[norm] = bytes(data)
         self._mtimes[norm] = self.kernel.now
         self._dirs.add(vpath.dirname(norm))

@@ -7,13 +7,13 @@ Paths are ``/``-separated, always absolute (leading ``/``), with no
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.util.errors import VFSError
 
 
-def normalize(path: str) -> str:
-    """Normalize to a canonical absolute path."""
-    if not isinstance(path, str) or not path:
-        raise VFSError(f"bad path: {path!r}")
+@lru_cache(maxsize=1 << 16)
+def _normalize_cached(path: str) -> str:
     parts: list[str] = []
     for part in path.split("/"):
         if part in ("", "."):
@@ -25,6 +25,17 @@ def normalize(path: str) -> str:
         else:
             parts.append(part)
     return "/" + "/".join(parts)
+
+
+def normalize(path: str) -> str:
+    """Normalize to a canonical absolute path.
+
+    Pure string → string, so results are memoized — the VFS normalizes
+    the same snapshot/CAS paths millions of times in a fleet run.
+    """
+    if not isinstance(path, str) or not path:
+        raise VFSError(f"bad path: {path!r}")
+    return _normalize_cached(path)
 
 
 def join(*parts: str) -> str:

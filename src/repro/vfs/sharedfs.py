@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.simenv.kernel import Delay, SimGen
 from repro.vfs.fsbase import FS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,15 +33,11 @@ class SharedFS(FS):
         )
         self.net_hop_s = net_hop_s
 
-    def write(self, path: str, data: bytes) -> SimGen:
-        yield Delay(self.net_hop_s)
-        result = yield from super().write(path, data)
-        return result
-
-    def read(self, path: str) -> SimGen:
-        yield Delay(self.net_hop_s)
-        data = yield from super().read(path)
-        return data
+    def _io_time(self, nbytes: int) -> float:
+        # one network hop per operation, on top of the disk transfer —
+        # pricing through the hook keeps batched read_many/write_many
+        # identical in total time to per-file loops
+        return self.net_hop_s + super()._io_time(nbytes)
 
     def mark_unreachable(self) -> None:
         """Stable storage survives node failures by definition; refuse."""

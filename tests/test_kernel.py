@@ -5,6 +5,8 @@ import pytest
 from repro.simenv.kernel import (
     Delay,
     Kernel,
+    WaitAll,
+    WaitAny,
     WaitEvent,
     first_of,
     join_all,
@@ -352,3 +354,257 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestWaitSyscalls:
+    """Native WaitAny/WaitAll: thread-less multi-event blocking."""
+
+    def test_waitany_reports_winner(self, kernel):
+        events = [kernel.event("slow"), kernel.event("fast")]
+        kernel.call_later(0.2, lambda: events[0].fire("s"))
+        kernel.call_later(0.1, lambda: events[1].fire("f"))
+
+        def waiter():
+            outcome = yield WaitAny(events)
+            return outcome
+
+        assert run_gen(kernel, waiter()) == (1, "f", None)
+
+    def test_waitany_captures_failure(self, kernel):
+        events = [kernel.event("a"), kernel.event("b")]
+        kernel.call_later(0.1, lambda: events[0].fail(ValueError("v")))
+
+        def waiter():
+            outcome = yield WaitAny(events)
+            return outcome
+
+        index, value, exc = run_gen(kernel, waiter())
+        assert index == 0 and value is None and isinstance(exc, ValueError)
+
+    def test_waitany_already_fired(self, kernel):
+        events = [kernel.event("a"), kernel.event("b")]
+        events[1].fire("early")
+
+        def waiter():
+            outcome = yield WaitAny(events)
+            return outcome
+
+        assert run_gen(kernel, waiter()) == (1, "early", None)
+
+    def test_waitall_collects_in_order(self, kernel):
+        events = [kernel.event(f"e{i}") for i in range(3)]
+        # fire out of order; results must come back in event order
+        kernel.call_later(0.3, lambda: events[0].fire(0))
+        kernel.call_later(0.1, lambda: events[1].fire(10))
+        kernel.call_later(0.2, lambda: events[2].fire(20))
+
+        def waiter():
+            values = yield WaitAll(events)
+            return values
+
+        assert run_gen(kernel, waiter()) == [0, 10, 20]
+
+    def test_waitall_empty_completes_immediately(self, kernel):
+        def waiter():
+            values = yield WaitAll([])
+            return values
+
+        assert run_gen(kernel, waiter()) == []
+
+    def test_waitall_raises_first_failure(self, kernel):
+        events = [kernel.event("a"), kernel.event("b")]
+        kernel.call_later(0.1, lambda: events[0].fail(RuntimeError("x")))
+        kernel.call_later(0.2, lambda: events[1].fire(1))
+
+        def waiter():
+            try:
+                yield WaitAll(events)
+            except RuntimeError:
+                return "failed"
+
+        assert run_gen(kernel, waiter()) == "failed"
+
+    def test_waitall_duplicate_events(self, kernel):
+        event = kernel.event("dup")
+        kernel.call_later(0.1, lambda: event.fire(7))
+
+        def waiter():
+            values = yield WaitAll([event, event])
+            return values
+
+        assert run_gen(kernel, waiter()) == [7, 7]
+
+    def test_kill_detaches_multiwait(self, kernel):
+        events = [kernel.event("a"), kernel.event("b")]
+
+        def waiter():
+            yield WaitAny(events)
+
+        thread = kernel.spawn(waiter(), "w")
+        kernel.call_later(0.1, thread.kill)
+        kernel.run()
+        assert not thread.alive
+        assert events[0]._waiters == [] and events[1]._waiters == []
+
+    def test_no_watcher_threads_spawned(self, kernel):
+        """Acceptance: first_of/join_all must not spawn threads."""
+        events = [kernel.event(f"e{i}") for i in range(8)]
+        joined = join_all(events, kernel)
+        race = first_of(kernel, events)
+
+        def waiter():
+            yield WaitAny(events)
+            yield WaitAll(events)
+            yield WaitEvent(race)
+            yield WaitEvent(joined)
+            return "ok"
+
+        thread = kernel.spawn(waiter(), "w")
+        for i, event in enumerate(events):
+            kernel.call_later(0.1 * (i + 1), lambda e=event, i=i: e.fire(i))
+        kernel.run()
+        assert thread.result == "ok"
+        # only the one waiter thread exists; no per-event watchers
+        assert kernel.stats.threads_spawned == 1
+        assert kernel.stats.waits_any == 1 and kernel.stats.waits_all == 1
+
+    def test_legacy_mode_spawns_watchers(self):
+        """fast_paths=False keeps the pre-change watcher combinators."""
+        kernel = Kernel(fast_paths=False)
+        events = [kernel.event(f"e{i}") for i in range(4)]
+        joined = join_all(events, kernel)
+
+        def waiter():
+            values = yield WaitEvent(joined)
+            return values
+
+        thread = kernel.spawn(waiter(), "w")
+        for i, event in enumerate(events):
+            kernel.call_later(0.1, lambda e=event, i=i: e.fire(i))
+        kernel.run()
+        assert thread.result == [0, 1, 2, 3]
+        # one watcher per event, plus the waiter
+        assert kernel.stats.threads_spawned == 1 + len(events)
+
+    def test_legacy_waitany_translates(self):
+        kernel = Kernel(fast_paths=False)
+        events = [kernel.event("a"), kernel.event("b")]
+        kernel.call_later(0.1, lambda: events[1].fire("f"))
+
+        def waiter():
+            outcome = yield WaitAny(events)
+            return outcome
+
+        assert run_gen(kernel, waiter()) == (1, "f", None)
+
+    def test_legacy_waitall_translates(self):
+        kernel = Kernel(fast_paths=False)
+        events = [kernel.event("a"), kernel.event("b")]
+        kernel.call_later(0.1, lambda: events[0].fire(1))
+        kernel.call_later(0.2, lambda: events[1].fire(2))
+
+        def waiter():
+            values = yield WaitAll(events)
+            return values
+
+        assert run_gen(kernel, waiter()) == [1, 2]
+
+
+class TestKernelStats:
+    def test_ready_path_bypasses_heap(self, kernel):
+        def chatty():
+            for _ in range(50):
+                yield Delay(0)
+            return "done"
+
+        run_gen(kernel, chatty())
+        assert kernel.stats.ready_hits >= 50
+        # zero-delay wakeups must not touch the heap
+        assert kernel.stats.heap_pushes < 10
+
+    def test_legacy_mode_uses_heap(self):
+        kernel = Kernel(fast_paths=False)
+
+        def chatty():
+            for _ in range(50):
+                yield Delay(0)
+            return "done"
+
+        thread = kernel.spawn(chatty(), "c")
+        kernel.run_until_complete(thread)
+        assert kernel.stats.ready_hits == 0
+        assert kernel.stats.heap_pushes >= 50
+
+    def test_snapshot_shape(self, kernel):
+        def main():
+            yield Delay(0.1)
+
+        run_gen(kernel, main())
+        snap = kernel.stats_snapshot()
+        for key in (
+            "events", "ready_hits", "heap_pushes", "heap_pops",
+            "peak_heap", "peak_ready", "threads_spawned",
+            "threads_reaped", "threads_live", "threads_dead",
+            "waits_any", "waits_all", "run_wall_s", "events_per_sec",
+        ):
+            assert key in snap, key
+        assert snap["events"] > 0
+        assert snap["threads_live"] == 0
+
+
+class TestThreadReaping:
+    def test_dead_threads_are_compacted(self, kernel):
+        def short():
+            yield Delay(0.001)
+
+        for i in range(1000):
+            kernel.spawn(short(), f"s{i}")
+        kernel.run()
+        assert kernel.stats.threads_spawned == 1000
+        assert kernel.stats.threads_reaped > 0
+        # the registry must not retain every thread ever spawned
+        assert len(kernel._threads) < 200
+
+    def test_live_threads_survive_compaction(self, kernel):
+        gate = kernel.event("gate")
+
+        def short():
+            yield Delay(0.001)
+
+        def long_lived():
+            yield WaitEvent(gate)
+            return "kept"
+
+        keeper = kernel.spawn(long_lived(), "keeper")
+        for i in range(500):
+            kernel.spawn(short(), f"s{i}")
+        kernel.call_later(1.0, lambda: gate.fire(None))
+        kernel.run()
+        assert keeper.result == "kept"
+
+
+class TestPerKernelIds:
+    def test_tids_deterministic_across_kernels(self):
+        """Satellite: ids must restart per kernel, not share a global
+        iterator across every kernel the test session creates."""
+
+        def collect():
+            kernel = Kernel()
+
+            def noop():
+                yield Delay(0)
+
+            return [kernel.spawn(noop(), "t").tid for _ in range(3)]
+
+        assert collect() == [1, 2, 3]
+        assert collect() == [1, 2, 3]
+
+
+class TestRunUntilSeqPreserved:
+    def test_truncated_entry_keeps_original_seq(self, kernel):
+        kernel.call_later(1.0, lambda: None)  # seq 0, executes
+        kernel.call_later(3.0, lambda: None)  # seq 1, truncated
+        kernel.call_later(3.0, lambda: None)  # seq 2
+        kernel.run(until=2.0)
+        seqs = sorted(entry[1] for entry in kernel._pq)
+        assert seqs == [1, 2]
