@@ -1,0 +1,195 @@
+"""E13 — adaptive (Young/Daly) cadence vs fixed checkpoint intervals
+under true-Poisson mixed-fault campaigns.
+
+E9 swept *fixed* checkpoint intervals against crash campaigns; this
+experiment closes the control loop.  The adaptive scheduler re-computes
+``sqrt(2 · MTBF · C)`` each tick from the lineage's observed failure
+history and the measured app-blocked checkpoint cost, clamped into
+``[snapc_sched_min_every, snapc_sched_max_every]``, with the fixed
+``snapc_full_checkpoint_every`` as the cold-start fallback.
+
+Each fault **mix** (crash-only, and a hostile mix that also attacks
+stable storage, the data-plane network, and snapshot metadata) is run
+against a sweep of fixed cadences and against the adaptive scheduler,
+all from the same cluster seed, so every configuration faces the same
+Poisson arrival process.  The score is **effective progress** —
+fault-free makespan over faulty makespan.
+
+The acceptance gate: under every mix the adaptive cadence's effective
+progress is at least that of the best fixed-interval point.  A fixed
+cadence can only be tuned to one failure regime; the closed loop earns
+its keep by re-tuning per lineage as failures accumulate.
+
+Machine-readable results land in ``BENCH_E13.json``.  ``E13_SMOKE=1``
+(the CI bench job) runs a reduced profile — fewer faults and a smaller
+fixed sweep — to fit the runtime budget; the gate is identical.
+"""
+
+import os
+
+from repro.bench.harness import Row, format_table, fresh_universe, write_bench_json
+from repro.simenv import CampaignSpec, FaultSpec, run_campaign
+from repro.tools.api import ompi_run
+
+SMOKE = os.environ.get("E13_SMOKE") == "1"
+
+#: ~2 sim-seconds of fault-free runtime (as in E9)
+CHURN = {"loops": 200, "compute_s": 0.01, "state_bytes": 4 << 20}
+N_NODES = 6
+NP = 4
+MTBF_S = 0.5
+START_AT = 0.35
+MAX_FAILURES = 2 if SMOKE else 3
+
+#: fixed-cadence sweep (sim seconds between checkpoints)
+FIXED_INTERVALS = [0.15, 0.3] if SMOKE else [0.15, 0.3, 0.6]
+#: adaptive configuration: fallback cadence + clamp band
+ADAPTIVE_PARAMS = {
+    "snapc_full_checkpoint_every": "0.25",
+    "snapc_sched_adaptive": "1",
+    "snapc_sched_min_every": "0.05",
+    "snapc_sched_max_every": "0.6",
+}
+
+FAULT_MIXES = {
+    "crash_only": (FaultSpec("node_crash"),),
+    "hostile": (
+        FaultSpec("node_crash", weight=2.0),
+        FaultSpec("stable_write_fail", weight=1.0, duration_s=0.1),
+        FaultSpec("stable_slow", weight=1.0, duration_s=0.15, factor=6.0),
+        FaultSpec("net_partition", weight=1.0, duration_s=0.1),
+        FaultSpec("meta_corrupt", weight=1.0),
+    ),
+}
+
+
+def fault_free_makespan() -> float:
+    universe = fresh_universe(N_NODES)
+    job = ompi_run(universe, "churn", NP, args=CHURN)
+    assert job.state.value == "finished"
+    return universe.kernel.now
+
+
+def campaign_with(params: dict, faults: tuple) -> dict:
+    """One deterministic campaign run; returns the report as a dict."""
+    universe = fresh_universe(
+        N_NODES, dict(params, orte_errmgr_autorecover="1")
+    )
+    job = ompi_run(universe, "churn", NP, args=CHURN, wait=False)
+    spec = CampaignSpec(
+        mtbf_s=MTBF_S,
+        max_failures=MAX_FAILURES,
+        start_at=START_AT,
+        faults=faults,
+    )
+    report = run_campaign(universe, job, spec).to_dict()
+    sched = universe.hnp.ckpt_scheduler
+    report["scheduled_ckpts"] = len(sched.taken)
+    report["skipped_ticks"] = len(sched.skipped)
+    tuned = [
+        d["interval_s"] for d in sched.decisions if d.get("mtbf_s") is not None
+    ]
+    report["tuned_intervals_s"] = tuned
+    return report
+
+
+def test_e13_adaptive_vs_fixed_cadence(benchmark):
+    def run():
+        results: dict = {"fault_free_makespan_s": fault_free_makespan()}
+        for mix_name, faults in FAULT_MIXES.items():
+            mix: dict[str, dict] = {}
+            for interval in FIXED_INTERVALS:
+                mix[f"fixed_{interval:g}"] = campaign_with(
+                    {"snapc_full_checkpoint_every": str(interval)}, faults
+                )
+            mix["adaptive"] = campaign_with(ADAPTIVE_PARAMS, faults)
+            results[mix_name] = mix
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results["fault_free_makespan_s"]
+
+    def progress(report: dict) -> float:
+        return baseline / report["makespan_s"] if report["completed"] else 0.0
+
+    rows = []
+    for mix_name in FAULT_MIXES:
+        for config, report in results[mix_name].items():
+            rows.append(
+                Row(
+                    f"{mix_name}/{config}",
+                    {
+                        "done": str(report["completed"]),
+                        "faults": len(report["failures"]),
+                        "restarts": report["restarts"],
+                        "ckpts": report["committed_checkpoints"],
+                        "lost (sim ms)": report["work_lost_s"] * 1e3,
+                        "progress": progress(report),
+                    },
+                )
+            )
+    print()
+    print(
+        format_table(
+            "E13: adaptive Daly cadence vs fixed intervals "
+            f"(MTBF {MTBF_S:g}s, {MAX_FAILURES} faults)",
+            ["done", "faults", "restarts", "ckpts", "lost (sim ms)",
+             "progress"],
+            rows,
+        )
+    )
+    write_bench_json(
+        "BENCH_E13.json",
+        {
+            "experiment": "e13_adaptive_cadence",
+            "smoke_profile": SMOKE,
+            "app": "churn",
+            "app_args": CHURN,
+            "n_nodes": N_NODES,
+            "np": NP,
+            "mtbf_s": MTBF_S,
+            "max_failures": MAX_FAILURES,
+            "start_at": START_AT,
+            "fixed_intervals_s": FIXED_INTERVALS,
+            "adaptive_params": ADAPTIVE_PARAMS,
+            "fault_mixes": {
+                name: [
+                    {
+                        "kind": f.kind,
+                        "weight": f.weight,
+                        "duration_s": f.duration_s,
+                        "factor": f.factor,
+                    }
+                    for f in faults
+                ]
+                for name, faults in FAULT_MIXES.items()
+            },
+            "fault_free_makespan_s": baseline,
+            "results": {
+                name: results[name] for name in FAULT_MIXES
+            },
+        },
+    )
+
+    for mix_name in FAULT_MIXES:
+        mix = results[mix_name]
+        # every configuration survives its campaign
+        for config, report in mix.items():
+            assert report["completed"], (mix_name, config, report)
+            assert report["committed_checkpoints"] >= 1, (mix_name, config)
+        # the closed loop actually re-tuned: post-failure decisions
+        # exist and obey the clamp band
+        adaptive = mix["adaptive"]
+        assert adaptive["tuned_intervals_s"], adaptive
+        for interval in adaptive["tuned_intervals_s"]:
+            assert 0.05 <= interval <= 0.6
+        # the acceptance gate: adaptive effective progress is at least
+        # the best fixed-interval point under this mix
+        best_fixed = max(
+            progress(mix[f"fixed_{i:g}"]) for i in FIXED_INTERVALS
+        )
+        assert progress(adaptive) >= best_fixed, (
+            mix_name,
+            progress(adaptive),
+            best_fixed,
+        )

@@ -140,6 +140,9 @@ class ErrMgr:
         self._recovering: set[int] = set()
         #: failed jobid -> event fired with the successor Job (or None)
         self._outcomes: dict[int, "SimEvent"] = {}
+        #: lineage root -> detection timestamps of its failures (fed to
+        #: the adaptive checkpoint scheduler's MTBF estimate)
+        self._failures_by_root: dict[int, list[float]] = {}
         hnp.universe.cluster.failures.on_failure(self._on_injected_failure)
 
     # -- detection -------------------------------------------------------------
@@ -226,6 +229,36 @@ class ErrMgr:
             jobid = self._lineage[jobid]
         return jobid
 
+    def _root_of_jobid(self, jobid: int) -> int:
+        """Lineage root by jobid alone (no Job object needed)."""
+        seen: set[int] = set()
+        while jobid in self._lineage and jobid not in seen:
+            seen.add(jobid)
+            jobid = self._lineage[jobid]
+        return jobid
+
+    def lineage_root(self, job: Job) -> int:
+        """Public lineage-root lookup (scheduler, campaign reporting)."""
+        return self._root_of(job)
+
+    def lineage_jobids(self, job: Job) -> set[int]:
+        """Every jobid in *job*'s recovery lineage (root included)."""
+        root = self._root_of(job)
+        members = {root, job.jobid}
+        for jobid in self._lineage:
+            if self._root_of_jobid(jobid) == root:
+                members.add(jobid)
+        return members
+
+    def lineage_failure_times(self, job: Job) -> list[float]:
+        """Detection timestamps of every failure in *job*'s lineage.
+
+        Recorded on first detection regardless of whether recovery is
+        enabled or succeeds — the adaptive checkpoint scheduler divides
+        observed lifetime by this count for its online MTBF estimate.
+        """
+        return list(self._failures_by_root.get(self._root_of(job), ()))
+
     def is_recovering(self, job: Job) -> bool:
         """True while *job*'s lineage has a recovery in flight."""
         return self._root_of(job) in self._recovering
@@ -265,6 +298,9 @@ class ErrMgr:
         if not first_failure:
             return None
         root = self._root_of(job)
+        self._failures_by_root.setdefault(root, []).append(
+            self.hnp.proc.kernel.now
+        )
         span = self.hnp.proc.kernel.tracer.begin(
             "errmgr.detect", cat="errmgr", jobid=job.jobid, rank=rank,
             root=root, detail=str(detail),

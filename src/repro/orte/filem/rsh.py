@@ -35,6 +35,18 @@ class RshFILEM(FILEMComponent):
     def _eth_bw(self, hnp: "HNP") -> float:
         return hnp.universe.cluster.eth.model.bandwidth_Bps
 
+    @staticmethod
+    def _link_check(hnp: "HNP", node_name: str):
+        """Data-plane partition probe for transfers touching a node.
+
+        Returns a callable that raises :class:`NetworkError` while the
+        node is partitioned from the storage network — tree copies and
+        chunk ship/fetch call it mid-transfer, so an injected partition
+        fails the stage exactly the way a dying link would.
+        """
+        failures = hnp.universe.cluster.failures
+        return lambda: failures.check_link(node_name)
+
     def _traced_copy(self, hnp: "HNP", op: str, node_name: str, gen) -> SimGen:
         """Run one tree copy under a ``filem.transfer`` span."""
         span = hnp.proc.kernel.tracer.begin(
@@ -63,6 +75,7 @@ class RshFILEM(FILEMComponent):
                         dst_dir,
                         extra_net_Bps=self._eth_bw(hnp),
                         extra_latency_s=self.session_cost_s,
+                        link_ok=self._link_check(hnp, node_name),
                     ),
                 )
             )
@@ -88,6 +101,7 @@ class RshFILEM(FILEMComponent):
                     dst_dir,
                     extra_net_Bps=self._eth_bw(hnp),
                     extra_latency_s=self.session_cost_s,
+                    link_ok=self._link_check(hnp, node_name),
                 ),
             )
             # Continuation: drop this node's local staging right away,
@@ -125,14 +139,17 @@ class RshFILEM(FILEMComponent):
 
         def one(node_name: str, src_dir: str, manifest, indices) -> SimGen:
             src_fs = node_local_fs(hnp, node_name)
+            link_ok = self._link_check(hnp, node_name)
             inner = hnp.proc.kernel.tracer.begin(
                 "filem.transfer", cat="filem", op="ship", node=node_name,
                 chunks=len(indices),
             )
+            link_ok()
             payloads = yield from chunkstore.load_chunks(
                 src_fs, src_dir, manifest, indices, IMAGE_FILE
             )
             yield Delay(self.session_cost_s)
+            link_ok()
             if hnp.proc.kernel.fast_paths:
                 # one aggregate wire delay + one batched store write:
                 # O(1) kernel events per entry instead of O(chunks)
@@ -175,12 +192,15 @@ class RshFILEM(FILEMComponent):
 
         def one(node_name: str, src_dir: str, dst_dir: str) -> SimGen:
             dst_fs = node_local_fs(hnp, node_name)
+            link_ok = self._link_check(hnp, node_name)
             inner = hnp.proc.kernel.tracer.begin(
                 "filem.transfer", cat="filem", op="fetch", node=node_name
             )
+            link_ok()
             manifest = yield from chunkstore.read_manifest(stable, src_dir)
             meta_raw = yield from stable.read(vpath.join(src_dir, LOCAL_META))
             yield Delay(self.session_cost_s)
+            link_ok()
             if hnp.proc.kernel.fast_paths:
                 parts = yield from store.get_many(list(manifest.hashes))
                 wire = sum(len(data) for data in parts)
@@ -231,6 +251,7 @@ class RshFILEM(FILEMComponent):
                         dst_dir,
                         extra_net_Bps=self._eth_bw(hnp),
                         extra_latency_s=self.session_cost_s,
+                        link_ok=self._link_check(hnp, node_name),
                     ),
                 )
             )

@@ -363,16 +363,22 @@ class StagingCoordinator:
             entries=len(record.gather_entries),
         )
         # Persist the in-flight state first so the interval is never
-        # observable as stable before it is.
+        # observable as stable before it is.  An injected stable-storage
+        # write fault here fails the interval, not the worker thread.
         record.meta.staging = {
             "state": STAGE_STAGING,
             "committed_sim_time": None,
             "error": None,
         }
-        yield from self._write_meta(record)
-
         error: str | None = None
-        if record.cas:
+        try:
+            yield from self._write_meta(record)
+        except (VFSError, NetworkError) as exc:
+            error = f"staging metadata write failed: {exc}"
+
+        if error is not None:
+            pass
+        elif record.cas:
             # A failed base interval does not doom a CAS delta: its
             # chunks may already sit in the store (shipped by another
             # rank, interval, or job); the negotiation decides.
@@ -397,7 +403,15 @@ class StagingCoordinator:
                 "committed_sim_time": self._kernel.now,
                 "error": None,
             }
-            yield from self._write_meta(record)
+            try:
+                yield from self._write_meta(record)
+            except (VFSError, NetworkError) as exc:
+                # The data landed but the commit record did not: the
+                # interval is not observably stable, so it fails (and
+                # the next checkpoint is forced full).
+                error = f"commit metadata write failed: {exc}"
+
+        if error is None:
             record.state = STAGE_COMMITTED
             record.committed_at = self._kernel.now
             job = hnp.universe.jobs.get(record.jobid)
@@ -418,8 +432,8 @@ class StagingCoordinator:
             }
             try:
                 yield from self._write_meta(record)
-            except VFSError:
-                pass  # stable storage itself is gone; the record still knows
+            except (VFSError, NetworkError):
+                pass  # stable storage itself is down; the record still knows
             record.state = STAGE_FAILED
             record.error = error
             st.failed_dirs.add(record.ref.path)

@@ -31,6 +31,7 @@ from repro.simenv.campaign import (
     CampaignReport,
     CampaignSpec,
     FaultCampaign,
+    FaultSpec,
     run_campaign,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "FaultCampaign",
+    "FaultSpec",
     "run_campaign",
     "Delay",
     "Kernel",

@@ -1,18 +1,27 @@
-"""Fault-injection campaigns: cascading node crashes at a given MTBF.
+"""Fault-injection campaigns: Poisson-paced faults at a given MTBF.
 
-A campaign arms a Poisson process of node failures (inter-arrival times
-drawn from an exponential distribution, the standard failure model of
-the rollback-recovery literature) against a running universe, then
-follows a job's recovery lineage — original job, first restart, second
+A campaign arms a Poisson process of faults (inter-arrival times drawn
+from an exponential distribution, the standard failure model of the
+rollback-recovery literature) against a running universe, then follows
+a job's recovery lineage — original job, first restart, second
 restart, ... — until some incarnation finishes or the error manager
 gives up.  The resulting :class:`CampaignReport` carries the classic
 C/R tradeoff numbers: work lost to rollbacks, recovery latency, and
 effective progress, to be plotted against the checkpoint interval.
 
+Beyond node crashes, a campaign's :class:`FaultSpec` vocabulary can mix
+in the faults that attack the C/R machinery itself — transient
+stable-storage write failures and slowdowns, data-plane network
+partitions mid-stage, and truncated snapshot metadata — so ErrMgr's
+walk-back, skip-set, and staging-retry paths are exercised by injected
+faults.
+
 Victims are drawn at *fire time* from the nodes still up (minus the
 HNP's node, which hosts the simulated mpirun and is not recoverable),
 so a cascading campaign never re-kills a dead node.  Everything is
-deterministic given the cluster seed and the campaign's RNG stream.
+deterministic given the cluster seed and the campaign's RNG stream:
+the stream is persistent on the cluster, so successive inter-arrivals
+are i.i.d. draws, not the same first sample replayed.
 """
 
 from __future__ import annotations
@@ -26,23 +35,67 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.orte.job import Job
     from repro.orte.universe import Universe
 
+#: fault kinds a campaign can inject (see :class:`FaultSpec`)
+FAULT_NODE_CRASH = "node_crash"
+FAULT_STABLE_WRITE_FAIL = "stable_write_fail"
+FAULT_STABLE_SLOW = "stable_slow"
+FAULT_NET_PARTITION = "net_partition"
+FAULT_META_CORRUPT = "meta_corrupt"
+
+FAULT_KINDS = (
+    FAULT_NODE_CRASH,
+    FAULT_STABLE_WRITE_FAIL,
+    FAULT_STABLE_SLOW,
+    FAULT_NET_PARTITION,
+    FAULT_META_CORRUPT,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One kind of fault a campaign may draw at each arrival.
+
+    ``weight`` sets the relative draw probability among the faults
+    *applicable* at fire time (a crash that would drop below
+    ``min_survivors`` is not applicable; metadata corruption needs a
+    snapshot to exist).  ``duration_s`` bounds transient windows
+    (write-fail, slowdown, partition) and ``factor`` is the slowdown
+    multiplier.
+    """
+
+    kind: str = FAULT_NODE_CRASH
+    weight: float = 1.0
+    duration_s: float = 0.2
+    factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(have {', '.join(FAULT_KINDS)})"
+            )
+        if self.weight <= 0:
+            raise ValueError("fault weight must be positive")
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
     """Shape of one fault-injection campaign."""
 
-    #: mean time between node failures (simulated seconds)
+    #: mean time between faults (simulated seconds)
     mtbf_s: float
-    #: stop injecting after this many crashes
+    #: stop injecting after this many faults
     max_failures: int = 2
-    #: earliest time the first failure may fire
+    #: earliest time the first fault may fire
     start_at: float = 0.0
     #: node names never crashed (the HNP's node is always excluded)
     exclude_nodes: tuple[str, ...] = ()
-    #: stop injecting when this few eligible nodes would remain
+    #: stop crashing when this few eligible nodes would remain
     min_survivors: int = 1
     #: RNG stream name (deterministic per cluster seed)
     stream: str = "campaign"
+    #: fault vocabulary drawn from at each arrival (weighted)
+    faults: tuple[FaultSpec, ...] = (FaultSpec(),)
 
 
 @dataclass
@@ -54,7 +107,7 @@ class CampaignReport:
     final_state: str
     #: sim time when the lineage settled (finished or gave up)
     makespan_s: float
-    #: injected crashes: [{"at": sim_time, "node": name}]
+    #: injected faults: [{"at": sim_time, "kind": ..., "node": name|None}]
     failures: list = field(default_factory=list)
     #: per-episode recovery audit (see RecoveryRecord.to_dict)
     recoveries: list = field(default_factory=list)
@@ -64,15 +117,17 @@ class CampaignReport:
     work_lost_s: float = 0.0
     #: total failure-detection-to-running latency
     recovery_latency_s: float = 0.0
-    #: intervals that reached stable storage across the lineage
+    #: intervals that reached stable storage across the followed lineage
     committed_checkpoints: int = 0
+    #: injected faults per kind
+    fault_counts: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
 class FaultCampaign:
-    """Arms and re-arms exponential node crashes against a cluster."""
+    """Arms and re-arms exponentially spaced faults against a cluster."""
 
     def __init__(self, universe: "Universe", spec: CampaignSpec):
         self.universe = universe
@@ -86,31 +141,89 @@ class FaultCampaign:
         self._schedule(max(0.0, self.spec.start_at))
 
     def stop(self) -> None:
-        """No further crashes (already-scheduled timers become no-ops)."""
+        """No further faults (already-scheduled timers become no-ops)."""
         self.stopped = True
 
+    def _rng(self):
+        # One persistent stream per campaign stream name: every call
+        # advances it, so inter-arrivals are i.i.d. exponential.
+        return self.universe.cluster.rng(self.spec.stream)
+
     def _schedule(self, base_delay: float = 0.0) -> None:
-        rng = self.universe.cluster.rng(self.spec.stream)
-        delay = base_delay + rng.exponential(self.spec.mtbf_s)
+        delay = base_delay + self._rng().exponential(self.spec.mtbf_s)
         self.universe.kernel.call_later(delay, self._fire)
+
+    # -- fault applicability & execution ---------------------------------------
+
+    def _eligible_nodes(self) -> list[str]:
+        cluster = self.universe.cluster
+        return [
+            n.name for n in cluster.up_nodes if n.name not in self._exclude
+        ]
+
+    def _applicable(self, eligible: list[str]) -> list[FaultSpec]:
+        out = []
+        for fault in self.spec.faults:
+            if fault.kind == FAULT_NODE_CRASH:
+                if len(eligible) > self.spec.min_survivors:
+                    out.append(fault)
+            elif fault.kind == FAULT_NET_PARTITION:
+                if eligible:
+                    out.append(fault)
+            else:
+                # storage and metadata faults need no victim node
+                out.append(fault)
+        return out
+
+    def _inject(self, fault: FaultSpec, eligible: list[str]) -> dict | None:
+        """Fire one fault; returns the failure record or None."""
+        failures = self.universe.cluster.failures
+        rng = self._rng()
+        if fault.kind == FAULT_NODE_CRASH:
+            victim = failures.crash_random_up_node_now(
+                exclude=self._exclude, stream=self.spec.stream
+            )
+            if victim is None:
+                return None
+            return {"kind": fault.kind, "node": victim}
+        if fault.kind == FAULT_NET_PARTITION:
+            victim = rng.choice(eligible)
+            failures.partition_node_now(victim, fault.duration_s)
+            return {"kind": fault.kind, "node": victim}
+        if fault.kind == FAULT_STABLE_WRITE_FAIL:
+            failures.fail_stable_writes_now(fault.duration_s)
+            return {"kind": fault.kind, "node": None}
+        if fault.kind == FAULT_STABLE_SLOW:
+            failures.slow_stable_now(fault.duration_s, fault.factor)
+            return {"kind": fault.kind, "node": None}
+        if fault.kind == FAULT_META_CORRUPT:
+            victim_path = failures.corrupt_newest_snapshot_meta_now()
+            if victim_path is None:
+                return None
+            return {"kind": fault.kind, "node": None, "path": victim_path}
+        return None  # pragma: no cover
 
     def _fire(self) -> None:
         if self.stopped or len(self.failures) >= self.spec.max_failures:
             return
-        cluster = self.universe.cluster
-        eligible = [
-            n for n in cluster.up_nodes if n.name not in self._exclude
-        ]
-        if len(eligible) <= self.spec.min_survivors:
+        eligible = self._eligible_nodes()
+        applicable = self._applicable(eligible)
+        if not applicable:
             return
-        victim = cluster.failures.crash_random_up_node_now(
-            exclude=self._exclude, stream=self.spec.stream
-        )
-        if victim is None:
-            return
-        self.failures.append(
-            {"at": self.universe.kernel.now, "node": victim}
-        )
+        total = sum(f.weight for f in applicable)
+        draw = self._rng().uniform(0.0, total)
+        chosen = applicable[-1]
+        for fault in applicable:
+            draw -= fault.weight
+            if draw <= 0:
+                chosen = fault
+                break
+        record = self._inject(chosen, eligible)
+        if record is not None:
+            record["at"] = self.universe.kernel.now
+            self.failures.append(record)
+        # A fault that found no target (e.g. meta_corrupt before the
+        # first snapshot) re-arms without consuming the failure budget.
         if len(self.failures) < self.spec.max_failures:
             self._schedule()
 
@@ -167,24 +280,38 @@ def run_campaign(
 
     errmgr = universe.hnp.errmgr
     recovered = [r for r in errmgr.recovery_log if r.recovered]
+    # Committed intervals of the *followed lineage only* — a stager in
+    # a multi-job universe holds other jobs' records too.
+    lineage = errmgr.lineage_jobids(job)
     committed = 0
     stager_fn = getattr(universe.hnp.snapc, "stager", None)
     if stager_fn is not None:
         stager = stager_fn(universe.hnp)
-        for st in stager._jobs.values():
+        for jobid in lineage:
             committed += sum(
-                1 for rec in st.records.values()
+                1 for rec in stager.job_records(jobid)
                 if rec.state == STAGE_COMMITTED
             )
+    fault_counts: dict[str, int] = {}
+    for entry in campaign.failures:
+        kind = entry.get("kind", FAULT_NODE_CRASH)
+        fault_counts[kind] = fault_counts.get(kind, 0) + 1
+    lineage_records = [
+        r for r in errmgr.recovery_log if r.failed_jobid in lineage
+    ]
+    lineage_recovered = [r for r in recovered if r.failed_jobid in lineage]
     return CampaignReport(
         completed=final.state == JobState.FINISHED,
         final_jobid=final.jobid,
         final_state=final.state.value,
         makespan_s=makespan,
         failures=list(campaign.failures),
-        recoveries=[r.to_dict() for r in errmgr.recovery_log],
-        restarts=len(errmgr.recoveries),
-        work_lost_s=sum(r.work_lost_s or 0.0 for r in recovered),
-        recovery_latency_s=sum(r.latency_s or 0.0 for r in recovered),
+        recoveries=[r.to_dict() for r in lineage_records],
+        restarts=len(lineage_recovered),
+        work_lost_s=sum(r.work_lost_s or 0.0 for r in lineage_recovered),
+        recovery_latency_s=sum(
+            r.latency_s or 0.0 for r in lineage_recovered
+        ),
         committed_checkpoints=committed,
+        fault_counts=fault_counts,
     )

@@ -58,6 +58,9 @@ class Cluster:
             self.kernel, bandwidth_Bps=self.spec.stable_Bps
         )
         self.failures = FailureInjector(self)
+        #: persistent named RNG streams — one stream object per name,
+        #: so repeated draws advance state (see :meth:`rng`)
+        self._rng_streams: dict[str, RngStream] = {}
         self._build()
 
     def _build(self) -> None:
@@ -104,7 +107,19 @@ class Cluster:
         return self.fabrics["eth"]
 
     def rng(self, stream: str) -> RngStream:
-        return RngStream(self.spec.seed, stream)
+        """The cluster's persistent named RNG stream.
+
+        The same name always returns the same stream *object*, so
+        repeated draws advance its state — a Poisson process sampled
+        through here produces i.i.d. exponential inter-arrivals, not
+        the same first sample forever.  Two same-seed clusters still
+        reproduce identical draw sequences per stream name.
+        """
+        cached = self._rng_streams.get(stream)
+        if cached is None:
+            cached = RngStream(self.spec.seed, stream)
+            self._rng_streams[stream] = cached
+        return cached
 
     @property
     def up_nodes(self) -> list[Node]:

@@ -6,6 +6,14 @@ the failure model the rollback-recovery literature assumes.  Used by
 the recovery integration tests and the restart experiments: crash a
 node after a checkpoint interval, then drive ``ompi-restart`` from the
 surviving global snapshot.
+
+Beyond fail-stop node death, the injector speaks a wider fault
+vocabulary aimed at the C/R machinery itself: transient stable-storage
+write failures and throughput slowdowns (VFS fault windows), data-plane
+network partitions that cut a node's staging transfers mid-stage, and
+truncated global-snapshot metadata — each exercising a different
+recovery path (staging retry, walk-back, skip set) under injected
+rather than hand-edited faults.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.util.errors import ProcessFailedError
+from repro.util.errors import NetworkError, ProcessFailedError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simenv.cluster import Cluster
@@ -43,6 +51,8 @@ class FailureInjector:
         self.cluster = cluster
         self.injected: list[tuple[float, str]] = []
         self._on_failure: list[Callable[[str], None]] = []
+        #: node name -> sim time its data-plane partition heals
+        self._partitioned_until: dict[str, float] = {}
 
     def on_failure(self, callback: Callable[[str], None]) -> None:
         """Register an observer (the error manager subscribes here)."""
@@ -63,6 +73,81 @@ class FailureInjector:
     def kill_process_now(self, proc: "SimProcess") -> None:
         proc.kill(ProcessFailedError(f"{proc.label} killed by injector"))
         self._notify(f"process:{proc.label}")
+
+    # -- storage / network / metadata faults ----------------------------------
+
+    def fail_stable_writes_now(self, duration_s: float) -> None:
+        """Stable-storage writes fail for *duration_s* sim-seconds.
+
+        Reads keep working (the array is degraded, not lost), so
+        restart stays possible while staging commits bounce — the
+        staging retry and FAILED-interval paths are what this attacks.
+        """
+        self.cluster.stable_fs.inject_write_failures(duration_s)
+        self._notify(f"stable:write_fail:{duration_s:g}")
+
+    def slow_stable_now(self, duration_s: float, factor: float) -> None:
+        """Stable-storage throughput drops by *factor*× for a while."""
+        self.cluster.stable_fs.inject_slowdown(duration_s, factor)
+        self._notify(f"stable:slow:{factor:g}x:{duration_s:g}")
+
+    def partition_node_now(self, node_name: str, duration_s: float) -> None:
+        """Cut *node_name*'s data-plane transfers for *duration_s*.
+
+        Models a storage-network partition: FILEM tree copies and chunk
+        ship/fetch involving the node raise :class:`NetworkError` while
+        the window is open (the control plane — OOB RPCs — stays up, so
+        detection and recovery still function; a partitioned control
+        plane is node death, which :meth:`crash_node_now` models).
+        """
+        self.cluster.node(node_name)  # validate the name
+        now = self.cluster.kernel.now
+        until = now + duration_s
+        self._partitioned_until[node_name] = max(
+            self._partitioned_until.get(node_name, 0.0), until
+        )
+        self._notify(f"partition:{node_name}:{duration_s:g}")
+
+    def is_partitioned(self, node_name: str) -> bool:
+        return self.cluster.kernel.now < self._partitioned_until.get(
+            node_name, 0.0
+        )
+
+    def check_link(self, node_name: str) -> None:
+        """Raise :class:`NetworkError` while *node_name* is partitioned.
+
+        FILEM components call this around data-plane transfers; the
+        resulting error flows through the same staging retry/abort
+        machinery as a real mid-transfer link loss.
+        """
+        if self.is_partitioned(node_name):
+            raise NetworkError(
+                f"node {node_name} is partitioned from the storage network"
+            )
+
+    def corrupt_newest_snapshot_meta_now(self) -> str | None:
+        """Truncate the newest global snapshot's persisted metadata.
+
+        Returns the corrupted metadata path (or None when no snapshot
+        metadata exists yet).  The next recovery that considers the
+        interval fails to parse it (``SnapshotError``) and walks back
+        to an older committed interval — the walk-back path driven by
+        an injected fault instead of hand-edited metadata.
+        """
+        from repro.snapshot import GLOBAL_META
+
+        stable = self.cluster.stable_fs
+        candidates = [
+            p for p in stable.list_tree("/")
+            if p.endswith("/" + GLOBAL_META) and p.count("/rank") == 0
+        ]
+        if not candidates:
+            return None
+        victim = max(candidates, key=lambda p: stable.stat(p).mtime)
+        data = stable.peek(victim)
+        stable.poke(victim, data[: max(1, len(data) // 3)])
+        self._notify(f"meta_corrupt:{victim}")
+        return victim
 
     # -- scheduled -----------------------------------------------------------
 

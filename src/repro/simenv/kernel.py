@@ -378,6 +378,26 @@ class SimThread:
         return f"<SimThread {self.name} {state}>"
 
 
+class TimerHandle:
+    """Cancellable handle for :meth:`Kernel.call_at` timers.
+
+    There is no O(log n) heap removal, so cancellation is lazy: the
+    entry stays queued and is dropped when it surfaces — crucially
+    *without advancing the clock*, so an orphaned far-future timer
+    (say, a periodic wake-up whose job already settled) cannot drag
+    simulated time forward during a final drain.
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class KernelStats:
     """Always-on counter block for the scheduler hot path.
 
@@ -465,13 +485,15 @@ class Kernel:
 
     # -- scheduling primitives ---------------------------------------------
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+    def call_at(self, when: float, fn: Callable[[], None]) -> "TimerHandle":
         if when < self.now:
             raise SimError(f"cannot schedule in the past ({when} < {self.now})")
-        self._push(when, fn)
+        handle = TimerHandle(fn)
+        self._push(when, handle)
+        return handle
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
-        self.call_at(self.now + delay, fn)
+    def call_later(self, delay: float, fn: Callable[[], None]) -> "TimerHandle":
+        return self.call_at(self.now + delay, fn)
 
     def _push(self, when: float, item: Any) -> None:
         """Heap-schedule *item* (a callable, or a SimThread to wake)."""
@@ -668,6 +690,11 @@ class Kernel:
                     continue
                 entry = heapq.heappop(pq)
                 when, _, item = entry
+                if type(item) is TimerHandle and item.cancelled:
+                    # Lazy-cancelled timer: drop it with the clock
+                    # untouched (see TimerHandle).
+                    stats.heap_pops += 1
+                    continue
                 if until is not None and when > until:
                     # Re-push untouched: the original seq keeps the
                     # tie-break invariant self-evident across pauses.
@@ -682,6 +709,8 @@ class Kernel:
                     if item.alive:
                         item.blocked_on = None
                         self._step(item, None, None)
+                elif type(item) is TimerHandle:
+                    item.fn()
                 else:
                     item()
             blocked = [

@@ -22,7 +22,10 @@ KNOWN_PARAMS: dict[str, list[tuple[str, str, str]]] = {
     "snapc": [
         ("snapc", "full", "force SNAPC component selection"),
         ("snapc_full_ready_grace", "0.05", "seconds to wait for in-flight readiness"),
-        ("snapc_full_checkpoint_every", "0", "periodic checkpoint cadence in sim seconds (0 = off)"),
+        ("snapc_full_checkpoint_every", "0", "periodic checkpoint cadence in sim seconds (0 = off; the adaptive scheduler's cold-start fallback)"),
+        ("snapc_sched_adaptive", "0", "re-tune the cadence per tick to the Young/Daly interval sqrt(2*MTBF*C)"),
+        ("snapc_sched_min_every", "0.05", "lower clamp of the adaptive cadence (sim seconds)"),
+        ("snapc_sched_max_every", "1.0", "upper clamp of the adaptive cadence (sim seconds; 0 = uncapped)"),
     ],
     "filem": [
         ("filem", "rsh", "force FILEM component selection"),

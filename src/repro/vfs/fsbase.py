@@ -55,6 +55,11 @@ class FS:
         self._file_dirs: dict[str, int] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+        #: transient fault windows (sim-time horizons; see
+        #: ``inject_write_failures`` / ``inject_slowdown``)
+        self._write_fail_until = 0.0
+        self._slow_until = 0.0
+        self._slow_factor = 1.0
 
     def _index_file(self, norm: str) -> None:
         d = vpath.dirname(norm)
@@ -82,24 +87,56 @@ class FS:
         if not self.reachable:
             raise VFSError(f"filesystem {self.name} is unreachable")
 
+    # -- transient fault windows -----------------------------------------------
+
+    def inject_write_failures(self, duration_s: float) -> None:
+        """Writes fail with :class:`VFSError` for *duration_s* sim-seconds.
+
+        Reads are unaffected (the disk array is degraded, not gone) and
+        the window expires on its own — this models the transient
+        stable-storage faults a staging pipeline must retry through,
+        not permanent loss (``mark_unreachable``).
+        """
+        self._write_fail_until = max(
+            self._write_fail_until, self.kernel.now + duration_s
+        )
+
+    def inject_slowdown(self, duration_s: float, factor: float) -> None:
+        """Timed operations cost *factor*× for *duration_s* sim-seconds."""
+        if factor <= 0:
+            raise VFSError("slowdown factor must be positive")
+        self._slow_until = max(self._slow_until, self.kernel.now + duration_s)
+        self._slow_factor = factor
+
+    def _check_write(self) -> None:
+        if self.kernel.now < self._write_fail_until:
+            raise VFSError(
+                f"{self.name}: write failed (injected fault window)"
+            )
+
     def _io_time(self, nbytes: int) -> float:
         """Cost of one timed operation moving *nbytes*.
 
         Subclasses override this (not ``read``/``write``) so batched
         operations price each file identically to a per-file loop.
         """
-        return self.op_latency_s + nbytes / self.bandwidth_Bps
+        base = self.op_latency_s + nbytes / self.bandwidth_Bps
+        if self.kernel.now < self._slow_until:
+            return base * self._slow_factor
+        return base
 
     # -- blocking (timed) operations -------------------------------------------
 
     def write(self, path: str, data: bytes) -> SimGen:
         """Write (create or replace) a file."""
         self._check()
+        self._check_write()
         if not isinstance(data, (bytes, bytearray)):
             raise VFSError(f"file data must be bytes, got {type(data).__name__}")
         norm = vpath.normalize(path)
         yield Delay(self._io_time(len(data)))
         self._check()
+        self._check_write()
         if norm not in self._files:
             self._index_file(norm)
         self._files[norm] = bytes(data)
@@ -129,6 +166,7 @@ class FS:
         docs/SIMULATOR.md).
         """
         self._check()
+        self._check_write()
         normed: list[tuple[str, bytes]] = []
         total_time = 0.0
         for path, data in items:
@@ -141,6 +179,7 @@ class FS:
         if total_time:
             yield Delay(total_time)
         self._check()
+        self._check_write()
         written = 0
         for norm, data in normed:
             if norm not in self._files:

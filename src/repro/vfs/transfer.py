@@ -10,6 +10,8 @@ direct-to-stable-storage writes.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.simenv.kernel import Delay, SimGen
 from repro.vfs.fsbase import FS
 from repro.vfs import path as vpath
@@ -22,17 +24,25 @@ def copy_file(
     dst_path: str,
     extra_net_Bps: float | None = None,
     extra_latency_s: float = 0.0,
+    link_ok: Callable[[], None] | None = None,
 ) -> SimGen:
     """Copy one file; returns bytes copied.
 
     ``extra_net_Bps``/``extra_latency_s`` model an interposed network
-    link (e.g. an rsh/scp stream between two nodes).
+    link (e.g. an rsh/scp stream between two nodes).  ``link_ok``, when
+    given, is called before the stream and again before the destination
+    write; it raises :class:`~repro.util.errors.NetworkError` when the
+    link is partitioned, failing the copy mid-stage.
     """
+    if link_ok is not None:
+        link_ok()
     data = yield from src_fs.read(src_path)
     if extra_latency_s:
         yield Delay(extra_latency_s)
     if extra_net_Bps:
         yield Delay(len(data) / extra_net_Bps)
+    if link_ok is not None:
+        link_ok()
     yield from dst_fs.write(dst_path, data)
     return len(data)
 
@@ -44,6 +54,7 @@ def copy_tree(
     dst_prefix: str,
     extra_net_Bps: float | None = None,
     extra_latency_s: float = 0.0,
+    link_ok: Callable[[], None] | None = None,
 ) -> SimGen:
     """Copy every file under *src_prefix*; returns total bytes copied.
 
@@ -74,11 +85,14 @@ def copy_tree(
                 dst_path,
                 extra_net_Bps=extra_net_Bps,
                 extra_latency_s=extra_latency_s,
+                link_ok=link_ok,
             )
         return total
 
     if not paths:
         return 0
+    if link_ok is not None:
+        link_ok()
     blobs = yield from src_fs.read_many(paths)
     total = sum(len(b) for b in blobs)
     net_time = extra_latency_s * len(paths)
@@ -96,5 +110,7 @@ def copy_tree(
     # fails the batched form too.
     yield from dst_fs.write_many(pairs[:-1])
     src_fs._check()
+    if link_ok is not None:
+        link_ok()
     yield from dst_fs.write_many(pairs[-1:])
     return total

@@ -217,5 +217,15 @@ class TestClusterTopology:
         a1 = cluster.rng("s").uniform()
         a2 = Cluster(ClusterSpec(n_nodes=4)).rng("s").uniform()
         assert a1 == a2
-        assert cluster.rng("s").uniform() == a1  # fresh stream, same name
         assert cluster.rng("other").uniform() != a1
+
+    def test_rng_streams_persistent(self, cluster):
+        """Repeated cluster.rng() calls return ONE stream that advances
+        state — the Poisson-process fix: re-seeding per call would draw
+        the identical first sample forever."""
+        assert cluster.rng("s") is cluster.rng("s")
+        draws = [cluster.rng("s").uniform() for _ in range(4)]
+        assert len(set(draws)) == len(draws)
+        # a fresh same-seed cluster reproduces the full sequence
+        other = Cluster(ClusterSpec(n_nodes=4))
+        assert [other.rng("s").uniform() for _ in range(4)] == draws
