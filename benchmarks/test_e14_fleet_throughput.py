@@ -1,0 +1,126 @@
+"""E14 — fleet throughput: process-parallel sweeps without drift.
+
+The fleet runner's contract has two halves and this experiment gates
+both on the real E13 grid (18 campaign cells):
+
+* **Determinism.**  Per-cell seeds are a pure function of the fleet
+  seed and grid coordinates, and cells share nothing, so the per-cell
+  campaign reports of a 4-worker run must serialize to byte-identical
+  JSON against a serial run of the same spec.  This gate is
+  unconditional — it holds on any machine.
+* **Throughput.**  On a machine with at least 4 CPUs the 4-worker
+  sweep must finish at least ``MIN_SPEEDUP`` times faster than the
+  serial one.  On smaller boxes (a 1-CPU container cannot speed
+  anything up by forking) the measured speedup is recorded in the JSON
+  but the gate is relaxed to "the pool completed every cell".
+
+The meta-report also merges every cell's ``KernelStats``; the
+fleet-wide events-per-CPU-second must hold E12's committed per-kernel
+floor — parallelism must not mask a simulation slowdown.
+
+Machine-readable results land in ``BENCH_E14.json``.
+"""
+
+import json
+import os
+
+from repro.bench.harness import Row, format_table, write_bench_json
+from repro.fleet import FleetRunner
+from repro.fleet.presets import e13_fleet
+
+POOL_WORKERS = 4
+MIN_SPEEDUP = 2.5
+#: CPUs needed before the wall-clock gate is meaningful
+MIN_CPUS_FOR_GATE = 4
+
+#: E12's committed single-kernel throughput floor, held fleet-wide
+BASELINE_EVENTS_PER_SEC = 8_000.0
+REGRESSION_FLOOR = 0.7
+
+
+def test_e14_fleet_throughput_and_determinism(benchmark):
+    spec = e13_fleet()
+    quiet = lambda line: None  # noqa: E731
+    serial = FleetRunner(spec, progress=quiet).run(workers=1)
+
+    def run():
+        return FleetRunner(spec, progress=quiet).run(workers=POOL_WORKERS)
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cpus = os.cpu_count() or 1
+    speedup = serial.wall_s / parallel.wall_s
+    gate_armed = cpus >= MIN_CPUS_FOR_GATE
+
+    blob_serial = json.dumps(serial.reports_by_key(), sort_keys=True)
+    blob_parallel = json.dumps(parallel.reports_by_key(), sort_keys=True)
+    identical = blob_serial == blob_parallel
+
+    serial_stats = serial.kernel_stats()
+    stats = parallel.kernel_stats()
+    floor = BASELINE_EVENTS_PER_SEC * REGRESSION_FLOOR
+
+    rows = [
+        Row("serial", {
+            "wall (s)": serial.wall_s,
+            "ok": serial.aggregates()["ok"],
+            "runs": serial.aggregates()["runs"],
+        }),
+        Row(f"{POOL_WORKERS} workers", {
+            "wall (s)": parallel.wall_s,
+            "ok": parallel.aggregates()["ok"],
+            "runs": parallel.aggregates()["runs"],
+        }),
+    ]
+    print()
+    print(format_table(
+        f"E14: fleet throughput on the E13 grid ({cpus} CPUs, "
+        f"speedup {speedup:.2f}x, byte-identical: {identical})",
+        ["wall (s)", "ok", "runs"],
+        rows,
+    ))
+    write_bench_json(
+        "BENCH_E14.json",
+        {
+            "experiment": "e14_fleet_throughput",
+            "grid": spec.name,
+            "cells": len(spec.cells()),
+            "cpu_count": cpus,
+            "pool_workers": POOL_WORKERS,
+            "serial_wall_s": serial.wall_s,
+            "parallel_wall_s": parallel.wall_s,
+            "speedup": speedup,
+            "speedup_gate_armed": gate_armed,
+            "min_speedup": MIN_SPEEDUP,
+            "byte_identical": identical,
+            "serial_events_per_cpu_sec": serial_stats["events_per_cpu_sec"],
+            "fleet_events_per_cpu_sec": stats["events_per_cpu_sec"],
+            "events_per_cpu_sec_floor": floor,
+            "kernel_stats": stats,
+            "serial_aggregate": serial.aggregates(),
+            "parallel_aggregate": parallel.aggregates(),
+        },
+    )
+
+    # Determinism: sharding must not change a single simulation outcome.
+    assert identical, "parallel fleet run diverged from serial"
+    assert [c.key for c in serial.cells] == [c.key for c in parallel.cells]
+
+    # Both sweeps executed the whole grid.
+    assert serial.aggregates()["ok"] == len(spec.cells())
+    assert parallel.aggregates()["ok"] == len(spec.cells())
+
+    # The simulation itself must hold E12's throughput floor on the
+    # campaign workload.
+    assert serial_stats["events_per_cpu_sec"] >= floor, serial_stats
+
+    # Wall-clock and contention gates need real cores to be
+    # meaningful: on a 1-CPU box, N forked workers thrash one core and
+    # both wall clock and per-worker CPU time degrade for reasons that
+    # have nothing to do with the simulator.
+    if gate_armed:
+        assert stats["events_per_cpu_sec"] >= floor, stats
+        assert speedup >= MIN_SPEEDUP, (
+            f"{POOL_WORKERS}-worker sweep only {speedup:.2f}x faster than "
+            f"serial (gate: {MIN_SPEEDUP}x on {cpus} CPUs)"
+        )

@@ -1,5 +1,5 @@
 """E9 — fault-injection campaigns: recovery economics vs checkpoint
-interval.
+interval, fleet-driven.
 
 Crashes nodes at a configurable MTBF (exponential inter-arrival, the
 rollback-recovery literature's failure model) against a job protected
@@ -12,86 +12,88 @@ the recovery lineage to its end.  Reports the classic C/R tradeoff:
 * **recovery latency** — failure detection to restarted-and-running.
 * **effective progress** — fault-free makespan over faulty makespan.
 
-The ``interval=off`` row is the control: no periodic checkpoints means
-the first crash is fatal (no committed snapshot to recover from).
+The grid lives in :func:`repro.fleet.presets.e9_fleet` and runs under
+the :class:`~repro.fleet.runner.FleetRunner`: two seed replicas, each
+sweeping the checkpoint interval against the same derived-seed crash
+campaign, plus a fault-free baseline cell per replica that supplies
+the effective-progress denominator.  The ``interval_off`` cell is the
+control: no periodic checkpoints means the first crash is fatal (no
+committed snapshot to recover from).
 
-Machine-readable results land in ``BENCH_E9.json``.
+``E9_WORKERS`` sets the process-pool width (default 1 — serial); the
+per-cell reports are byte-identical either way.  Machine-readable
+results land in ``BENCH_E9.json``.
 """
 
-from repro.bench.harness import Row, format_table, fresh_universe, write_bench_json
-from repro.simenv import CampaignSpec, run_campaign
-from repro.tools.api import ompi_run
+import os
 
-#: ~2 sim-seconds of fault-free runtime; intervals commit ~0.21 s
-#: after the scheduler requests them
-CHURN = {"loops": 200, "compute_s": 0.01, "state_bytes": 4 << 20}
-N_NODES = 6
-NP = 4
-MTBF_S = 0.6
-#: let the job reach steady state before the first crash may fire
-START_AT = 0.35
+from repro.bench.harness import Row, format_table, write_bench_json
+from repro.fleet import FleetRunner
+from repro.fleet.presets import (
+    E9_INTERVALS,
+    E9_MAX_FAILURES,
+    E9_MTBF_S,
+    e9_fleet,
+)
 
-
-def fault_free_makespan() -> float:
-    universe = fresh_universe(N_NODES)
-    job = ompi_run(universe, "churn", NP, args=CHURN)
-    assert job.state.value == "finished"
-    return universe.kernel.now
-
-
-def campaign_at(checkpoint_every: float) -> dict:
-    """One campaign run; returns the CampaignReport as a dict."""
-    universe = fresh_universe(
-        N_NODES,
-        {
-            "orte_errmgr_autorecover": "1",
-            "snapc_full_checkpoint_every": str(checkpoint_every),
-        },
-    )
-    job = ompi_run(universe, "churn", NP, args=CHURN, wait=False)
-    spec = CampaignSpec(mtbf_s=MTBF_S, max_failures=2, start_at=START_AT)
-    return run_campaign(universe, job, spec).to_dict()
+WORKERS = int(os.environ.get("E9_WORKERS", "1"))
+SEEDS = (0, 1)
+CONFIGS = [
+    "interval_off" if interval == 0 else f"interval_{interval:g}"
+    for interval in E9_INTERVALS
+]
+PROTECTED = [config for config in CONFIGS if config != "interval_off"]
 
 
 def test_e9_fault_campaign_vs_checkpoint_interval(benchmark):
-    intervals = [0.0, 0.15, 0.25, 0.4]
+    spec = e9_fleet(seeds=SEEDS)
 
     def run():
-        return {
-            "fault_free_makespan_s": fault_free_makespan(),
-            "campaigns": {
-                interval: campaign_at(interval) for interval in intervals
-            },
-        }
+        return FleetRunner(spec).run(workers=WORKERS)
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    baseline = results["fault_free_makespan_s"]
+    fleet = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert all(cell.ok for cell in fleet.cells), [
+        (c.key, c.error) for c in fleet.cells if not c.ok
+    ]
+    baselines = {
+        seed: fleet.cell(f"s{seed}/default/none/baseline").report["makespan_s"]
+        for seed in SEEDS
+    }
+
+    def report_of(seed: int, config: str) -> dict:
+        return fleet.cell(f"s{seed}/default/{config}/crashes").report
+
+    def progress(seed: int, config: str) -> float:
+        report = report_of(seed, config)
+        if not report["completed"]:
+            return 0.0
+        return baselines[seed] / report["makespan_s"]
+
     rows = []
-    for interval in intervals:
-        report = results["campaigns"][interval]
-        label = "off" if interval == 0 else f"every {interval:g}s"
-        progress = (
-            baseline / report["makespan_s"] if report["completed"] else 0.0
-        )
-        rows.append(
-            Row(
-                f"interval={label}",
-                {
-                    "done": str(report["completed"]),
-                    "crashes": len(report["failures"]),
-                    "restarts": report["restarts"],
-                    "ckpts": report["committed_checkpoints"],
-                    "lost (sim ms)": report["work_lost_s"] * 1e3,
-                    "recov (sim ms)": report["recovery_latency_s"] * 1e3,
-                    "progress": progress,
-                },
+    for seed in SEEDS:
+        for config in CONFIGS:
+            report = report_of(seed, config)
+            rows.append(
+                Row(
+                    f"s{seed}/{config}",
+                    {
+                        "done": str(report["completed"]),
+                        "crashes": len(report["failures"]),
+                        "restarts": report["restarts"],
+                        "ckpts": report["committed_checkpoints"],
+                        "lost (sim ms)": report["work_lost_s"] * 1e3,
+                        "recov (sim ms)": report["recovery_latency_s"] * 1e3,
+                        "progress": progress(seed, config),
+                    },
+                )
             )
-        )
     print()
     print(
         format_table(
-            "E9: fault campaign (MTBF {:g}s, 2 crashes) vs checkpoint "
-            "interval".format(MTBF_S),
+            f"E9: fault campaign (MTBF {E9_MTBF_S:g}s, "
+            f"{E9_MAX_FAILURES} crashes) vs checkpoint interval "
+            f"({len(SEEDS)} replicas, {fleet.workers} workers)",
             [
                 "done",
                 "crashes",
@@ -108,34 +110,39 @@ def test_e9_fault_campaign_vs_checkpoint_interval(benchmark):
         "BENCH_E9.json",
         {
             "experiment": "e9_fault_campaign",
-            "app": "churn",
-            "app_args": CHURN,
-            "n_nodes": N_NODES,
-            "np": NP,
-            "mtbf_s": MTBF_S,
-            "max_failures": 2,
-            "fault_free_makespan_s": baseline,
+            "workers": fleet.workers,
+            "wall_s": fleet.wall_s,
+            "spec": fleet.spec,
+            "mtbf_s": E9_MTBF_S,
+            "max_failures": E9_MAX_FAILURES,
+            "fault_free_makespan_s": baselines,
             "campaigns": {
-                ("off" if k == 0 else f"{k:g}"): v
-                for k, v in results["campaigns"].items()
+                f"s{seed}/{config}": dict(
+                    report_of(seed, config),
+                    progress=progress(seed, config),
+                )
+                for seed in SEEDS
+                for config in CONFIGS
             },
+            "kernel_stats": fleet.kernel_stats(),
         },
     )
 
-    # Without periodic checkpoints the first crash is fatal.
-    unprotected = results["campaigns"][0.0]
-    assert not unprotected["completed"]
-    assert unprotected["restarts"] == 0
-    # With the scheduler on, every campaign survives to completion.
-    for interval in intervals[1:]:
-        report = results["campaigns"][interval]
-        assert report["completed"], report
-        assert report["restarts"] >= 1
-        assert report["committed_checkpoints"] >= 1
-        assert report["work_lost_s"] > 0.0
-    # Checkpointing more often strictly bounds the rollback: the dense
-    # cadence loses no more work than the sparse one.
-    assert (
-        results["campaigns"][0.15]["work_lost_s"]
-        <= results["campaigns"][0.4]["work_lost_s"]
-    )
+    for seed in SEEDS:
+        # Without periodic checkpoints the first crash is fatal.
+        unprotected = report_of(seed, "interval_off")
+        assert not unprotected["completed"], (seed, unprotected)
+        assert unprotected["restarts"] == 0, (seed, unprotected)
+        # With the scheduler on, every campaign survives to completion.
+        for config in PROTECTED:
+            report = report_of(seed, config)
+            assert report["completed"], (seed, config, report)
+            assert report["restarts"] >= 1, (seed, config)
+            assert report["committed_checkpoints"] >= 1, (seed, config)
+            assert report["work_lost_s"] > 0.0, (seed, config)
+        # Checkpointing more often strictly bounds the rollback: the
+        # dense cadence loses no more work than the sparse one.
+        assert (
+            report_of(seed, "interval_0.15")["work_lost_s"]
+            <= report_of(seed, "interval_0.4")["work_lost_s"]
+        ), seed

@@ -1,0 +1,24 @@
+"""Process-parallel campaign fleet runner.
+
+Every experiment that matters is a *grid* of independent simulated
+universes — seeds × cluster shapes × MCA parameters × fault campaigns.
+This package shards such grids across CPU cores with deterministic
+per-cell seed derivation (an N-worker run is byte-identical to a
+serial one), per-run timeout/retry isolation, live progress, and a
+cross-run meta-report.  See docs/FLEET.md.
+"""
+
+from repro.fleet.report import CellResult, FleetReport
+from repro.fleet.runner import FleetRunner, FleetTimeout, run_cell
+from repro.fleet.spec import FleetSpec, GridCell, derive_cell_seed
+
+__all__ = [
+    "CellResult",
+    "FleetReport",
+    "FleetRunner",
+    "FleetSpec",
+    "FleetTimeout",
+    "GridCell",
+    "derive_cell_seed",
+    "run_cell",
+]

@@ -1,0 +1,193 @@
+"""Canonical fleet grids shared by benchmarks, tests, and the CLI.
+
+E9 and E13 used to hand-roll serial loops over their sweep points;
+their grids now live here as :class:`~repro.fleet.spec.FleetSpec`
+builders so the benchmarks, the E14 throughput gate, and the
+``ompi-trace fleet`` subcommand all drive the exact same sweeps.
+
+Every grid includes one fault-free **baseline** cell per replica
+(params ``none``, campaign ``baseline`` with a zero fault budget): its
+campaign report's ``makespan_s`` is the replica's fault-free makespan,
+the denominator of every effective-progress score — computed under the
+same derived seed as the replica's faulty cells.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.spec import FleetSpec, GridCell
+from repro.simenv.campaign import CampaignSpec, FaultSpec
+
+#: ~2 sim-seconds of fault-free runtime (as in E9/E13 historically)
+CHURN = {"loops": 200, "compute_s": 0.01, "state_bytes": 4 << 20}
+N_NODES = 6
+NP = 4
+
+#: adaptive-cadence configuration raced by E13
+E13_ADAPTIVE_PARAMS = {
+    "snapc_full_checkpoint_every": "0.25",
+    "snapc_sched_adaptive": "1",
+    "snapc_sched_min_every": "0.05",
+    "snapc_sched_max_every": "0.6",
+}
+E13_FIXED_INTERVALS = [0.15, 0.3, 0.6]
+E13_MTBF_S = 0.5
+E13_MAX_FAILURES = 3
+
+E9_INTERVALS = [0.0, 0.15, 0.25, 0.4]
+E9_MTBF_S = 0.6
+E9_MAX_FAILURES = 2
+
+#: let the job reach steady state before the first fault may fire
+START_AT = 0.35
+
+#: hostile mix: crashes plus attacks on the C/R machinery itself
+HOSTILE_FAULTS = (
+    FaultSpec("node_crash", weight=2.0),
+    FaultSpec("stable_write_fail", weight=1.0, duration_s=0.1),
+    FaultSpec("stable_slow", weight=1.0, duration_s=0.15, factor=6.0),
+    FaultSpec("net_partition", weight=1.0, duration_s=0.1),
+    FaultSpec("meta_corrupt", weight=1.0),
+)
+
+#: the fault-free control campaign (zero fault budget)
+BASELINE_CAMPAIGN = CampaignSpec(mtbf_s=1.0, max_failures=0)
+
+
+def _with_baselines(
+    seeds: tuple[int, ...], sweep: list[tuple[str, str]]
+) -> tuple[GridCell, ...]:
+    """Product of sweep (params, campaign) pairs per replica, plus one
+    fault-free baseline cell per replica."""
+    cells: list[GridCell] = []
+    for seed in seeds:
+        for params_label, campaign_label in sweep:
+            cells.append(GridCell(seed, "default", params_label, campaign_label))
+        cells.append(GridCell(seed, "default", "none", "baseline"))
+    return tuple(cells)
+
+
+def e13_fleet(
+    seeds: tuple[int, ...] = (0, 1), fleet_seed: int = 20070326
+) -> FleetSpec:
+    """E13's grid: fixed cadences + adaptive × crash-only/hostile mixes.
+
+    Per replica: 4 configurations × 2 fault mixes + 1 baseline = 9
+    cells; configurations within a replica share the derived seed, so
+    they face the identical Poisson arrival process.
+    """
+    params: dict[str, dict] = {
+        f"fixed_{interval:g}": {"snapc_full_checkpoint_every": str(interval)}
+        for interval in E13_FIXED_INTERVALS
+    }
+    params["adaptive"] = dict(E13_ADAPTIVE_PARAMS)
+    params["none"] = {}
+    sweep = [
+        (params_label, mix)
+        for params_label in sorted(set(params) - {"none"})
+        for mix in ("crash_only", "hostile")
+    ]
+    return FleetSpec(
+        name="e13-adaptive-cadence",
+        app="churn",
+        np=NP,
+        app_args=dict(CHURN),
+        seeds=tuple(seeds),
+        clusters={"default": {"n_nodes": N_NODES}},
+        params=params,
+        campaigns={
+            "crash_only": CampaignSpec(
+                mtbf_s=E13_MTBF_S,
+                max_failures=E13_MAX_FAILURES,
+                start_at=START_AT,
+                faults=(FaultSpec("node_crash"),),
+            ),
+            "hostile": CampaignSpec(
+                mtbf_s=E13_MTBF_S,
+                max_failures=E13_MAX_FAILURES,
+                start_at=START_AT,
+                faults=HOSTILE_FAULTS,
+            ),
+            "baseline": BASELINE_CAMPAIGN,
+        },
+        base_params={"orte_errmgr_autorecover": "1"},
+        fleet_seed=fleet_seed,
+        timeout_s=300.0,
+        cells_override=_with_baselines(tuple(seeds), sweep),
+    )
+
+
+def e9_fleet(
+    seeds: tuple[int, ...] = (0, 1), fleet_seed: int = 20070326
+) -> FleetSpec:
+    """E9's grid: checkpoint-interval sweep under a crash campaign.
+
+    ``interval_off`` is the control — no periodic checkpoints, so the
+    first crash is fatal.
+    """
+    params: dict[str, dict] = {
+        (
+            "interval_off" if interval == 0 else f"interval_{interval:g}"
+        ): {"snapc_full_checkpoint_every": str(interval)}
+        for interval in E9_INTERVALS
+    }
+    params["none"] = {}
+    sweep = [
+        (params_label, "crashes")
+        for params_label in sorted(set(params) - {"none"})
+    ]
+    return FleetSpec(
+        name="e9-recovery-economics",
+        app="churn",
+        np=NP,
+        app_args=dict(CHURN),
+        seeds=tuple(seeds),
+        clusters={"default": {"n_nodes": N_NODES}},
+        params=params,
+        campaigns={
+            "crashes": CampaignSpec(
+                mtbf_s=E9_MTBF_S,
+                max_failures=E9_MAX_FAILURES,
+                start_at=START_AT,
+            ),
+            "baseline": BASELINE_CAMPAIGN,
+        },
+        base_params={"orte_errmgr_autorecover": "1"},
+        fleet_seed=fleet_seed,
+        timeout_s=300.0,
+        cells_override=_with_baselines(tuple(seeds), sweep),
+    )
+
+
+def demo_fleet(seeds: tuple[int, ...] = (0,)) -> FleetSpec:
+    """A small grid for the ``ompi-trace fleet`` demo: two cadences
+    under a short crash campaign, plus the baseline.
+
+    Four nodes for four ranks, so the crash always lands on a rank's
+    node: the dense cadence demonstrates a real recovery, the sparse
+    one a fatal crash (no interval committed yet)."""
+    churn = {"loops": 80, "compute_s": 0.01, "state_bytes": 1 << 20}
+    params = {
+        "interval_0.15": {"snapc_full_checkpoint_every": "0.15"},
+        "interval_0.3": {"snapc_full_checkpoint_every": "0.3"},
+        "none": {},
+    }
+    sweep = [("interval_0.15", "crashes"), ("interval_0.3", "crashes")]
+    return FleetSpec(
+        name="demo",
+        app="churn",
+        np=NP,
+        app_args=churn,
+        seeds=tuple(seeds),
+        clusters={"default": {"n_nodes": NP}},
+        params=params,
+        campaigns={
+            "crashes": CampaignSpec(
+                mtbf_s=0.4, max_failures=1, start_at=0.25
+            ),
+            "baseline": BASELINE_CAMPAIGN,
+        },
+        base_params={"orte_errmgr_autorecover": "1"},
+        fleet_seed=20070326,
+        timeout_s=120.0,
+        cells_override=_with_baselines(tuple(seeds), sweep),
+    )

@@ -1,0 +1,117 @@
+"""Cross-run meta-reports for fleet sweeps.
+
+A :class:`FleetReport` holds one :class:`CellResult` per grid cell —
+the cell's :class:`~repro.simenv.campaign.CampaignReport` (as a dict,
+exactly as the worker shipped it), its kernel stats, and the runner's
+own bookkeeping (attempts, wall clock, errors).  Timing and retry
+metadata live *outside* the campaign report payload, so the
+byte-identical serial-vs-parallel comparison (``reports_by_key``)
+covers only simulation outcomes, never wall-clock noise.
+
+Aggregation follows E12's convention: per-cell ``KernelStats`` blocks
+fold together via :meth:`KernelStats.merge` (counters add, peaks max,
+rates recompute from summed totals), so the meta-report carries a
+fleet-wide events-per-CPU-second that the E14 gate can hold to the
+same floor E12 enforces for a single kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.simenv.kernel import KernelStats
+
+
+@dataclass
+class CellResult:
+    """Outcome of one grid cell, as recorded by the runner."""
+
+    key: str
+    coords: dict
+    cluster_seed: int
+    ok: bool
+    attempts: int
+    wall_s: float
+    error: str | None = None
+    #: CampaignReport.to_dict() of the run (None on failure)
+    report: dict | None = None
+    #: checkpoint-scheduler audit (taken/skipped/tuned intervals)
+    scheduler: dict | None = None
+    #: KernelStats.to_dict() of the cell's kernel
+    kernel_stats: dict | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced."""
+
+    name: str
+    workers: int
+    wall_s: float
+    cells: list[CellResult] = field(default_factory=list)
+    #: FleetSpec.describe() of the sweep that produced this
+    spec: dict = field(default_factory=dict)
+
+    def cell(self, key: str) -> CellResult:
+        for cell in self.cells:
+            if cell.key == key:
+                return cell
+        raise KeyError(key)
+
+    def reports_by_key(self) -> dict[str, dict | None]:
+        """Per-cell campaign reports — the determinism surface.
+
+        Exactly what each worker's ``run_campaign`` returned, free of
+        wall-clock and retry metadata: serial and N-worker runs of the
+        same spec must produce byte-identical JSON for this mapping.
+        """
+        return {cell.key: cell.report for cell in self.cells}
+
+    def aggregates(self) -> dict:
+        """Cross-run totals over the cells that produced a report."""
+        done = [c for c in self.cells if c.ok and c.report is not None]
+        reports = [c.report for c in done]
+        fault_counts: dict[str, int] = {}
+        for report in reports:
+            for kind, count in report.get("fault_counts", {}).items():
+                fault_counts[kind] = fault_counts.get(kind, 0) + count
+        return {
+            "runs": len(self.cells),
+            "ok": len(done),
+            "failed": len(self.cells) - len(done),
+            "completed": sum(1 for r in reports if r["completed"]),
+            "faults": sum(len(r["failures"]) for r in reports),
+            "fault_counts": fault_counts,
+            "restarts": sum(r["restarts"] for r in reports),
+            "committed_checkpoints": sum(
+                r["committed_checkpoints"] for r in reports
+            ),
+            "work_lost_s": sum(r["work_lost_s"] for r in reports),
+            "recovery_latency_s": sum(
+                r["recovery_latency_s"] for r in reports
+            ),
+            "makespan_s_total": sum(r["makespan_s"] for r in reports),
+            "attempts": sum(c.attempts for c in self.cells),
+        }
+
+    def kernel_stats(self) -> dict:
+        """Fleet-wide KernelStats: every cell's block merged into one."""
+        merged = KernelStats()
+        for cell in self.cells:
+            if cell.kernel_stats:
+                merged.merge(cell.kernel_stats)
+        return merged.to_dict()
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet": self.name,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "spec": self.spec,
+            "cells": {cell.key: cell.to_dict() for cell in self.cells},
+            "aggregate": self.aggregates(),
+            "kernel_stats": self.kernel_stats(),
+        }

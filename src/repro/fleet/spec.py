@@ -1,0 +1,186 @@
+"""Fleet specifications: campaign sweep grids with derived seeds.
+
+A :class:`FleetSpec` declares a sweep as labelled axes — replica seeds
+× cluster shapes × MCA parameter sets × fault campaigns — and the
+runner executes every :class:`GridCell` of the grid in its own
+process-isolated universe.
+
+**Seed derivation.**  Each cell's cluster seed is a stable sha256 hash
+of the fleet seed and the cell's *seed-axis* coordinate (the replica
+number), mirroring how :mod:`repro.simenv.rng` derives per-stream
+seeds from the cluster seed.  Two consequences:
+
+* the derived seed depends only on the spec, never on worker count or
+  execution order, so an N-worker fleet run is byte-identical to a
+  serial one; and
+* by default every configuration within one replica shares the same
+  cluster seed — and therefore the identical Poisson fault-arrival
+  process — so configurations race each other under the same failures
+  (the E13 comparison premise).  Listing more axes in ``seed_axes``
+  decorrelates them instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.simenv.campaign import CampaignSpec
+
+
+def derive_cell_seed(fleet_seed: int, *coords: object) -> int:
+    """Stable 64-bit child seed from the fleet seed + grid coordinates.
+
+    Same construction as ``repro.simenv.rng._derive_seed``: sha256 over
+    a readable label, first 8 bytes little-endian.  Pure function of
+    its arguments — no global state, no execution order.
+    """
+    label = "fleet:" + ":".join(str(c) for c in (fleet_seed, *coords))
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One run of the sweep, addressed by its axis labels."""
+
+    seed: int
+    cluster: str
+    params: str
+    campaign: str
+
+    @property
+    def key(self) -> str:
+        """Stable per-cell identifier (dict key in the meta-report)."""
+        return f"s{self.seed}/{self.cluster}/{self.params}/{self.campaign}"
+
+
+@dataclass
+class FleetSpec:
+    """Declarative description of one campaign sweep.
+
+    ``clusters`` / ``params`` / ``campaigns`` map axis labels to
+    :class:`~repro.simenv.cluster.ClusterSpec` kwargs, MCA parameter
+    dicts (merged over ``base_params``), and
+    :class:`~repro.simenv.campaign.CampaignSpec` objects respectively.
+    ``cells`` pins an explicit grid (e.g. a sweep plus one fault-free
+    baseline cell per replica); when omitted the grid is the full
+    product of the axes.
+    """
+
+    name: str
+    app: str
+    np: int
+    app_args: dict = field(default_factory=dict)
+    seeds: tuple[int, ...] = (0,)
+    clusters: dict[str, dict] = field(
+        default_factory=lambda: {"default": {}}
+    )
+    params: dict[str, dict] = field(default_factory=lambda: {"default": {}})
+    campaigns: dict[str, CampaignSpec] = field(default_factory=dict)
+    #: MCA parameters every cell starts from (cell params override)
+    base_params: dict = field(default_factory=dict)
+    fleet_seed: int = 20070326
+    #: which GridCell fields enter the seed hash (default: replicas
+    #: share arrivals across configurations, see module docstring)
+    seed_axes: tuple[str, ...] = ("seed",)
+    #: per-run wall-clock budget (None = unbounded)
+    timeout_s: float | None = None
+    #: extra attempts per cell after a worker error or timeout
+    retries: int = 1
+    #: explicit grid; None = full product of the axes
+    cells_override: tuple[GridCell, ...] | None = None
+
+    def cells(self) -> list[GridCell]:
+        """The grid, in deterministic submission order, validated."""
+        if self.cells_override is not None:
+            grid = list(self.cells_override)
+        else:
+            grid = [
+                GridCell(seed, cluster, params, campaign)
+                for seed, cluster, params, campaign in product(
+                    self.seeds,
+                    sorted(self.clusters),
+                    sorted(self.params),
+                    sorted(self.campaigns),
+                )
+            ]
+        seen: set[str] = set()
+        for cell in grid:
+            if cell.cluster not in self.clusters:
+                raise ValueError(f"unknown cluster label {cell.cluster!r}")
+            if cell.params not in self.params:
+                raise ValueError(f"unknown params label {cell.params!r}")
+            if cell.campaign not in self.campaigns:
+                raise ValueError(f"unknown campaign label {cell.campaign!r}")
+            if cell.key in seen:
+                raise ValueError(f"duplicate grid cell {cell.key}")
+            seen.add(cell.key)
+        return grid
+
+    def cell_seed(self, cell: GridCell) -> int:
+        """The derived cluster seed for *cell* (see module docstring)."""
+        coords = [getattr(cell, axis) for axis in self.seed_axes]
+        return derive_cell_seed(self.fleet_seed, *coords)
+
+    def payload(self, cell: GridCell) -> dict:
+        """Self-contained, picklable work order for one cell.
+
+        Plain dicts and a frozen CampaignSpec only — this is what
+        crosses the process boundary to ``repro.fleet.runner.run_cell``.
+        """
+        merged = dict(self.base_params)
+        merged.update(self.params[cell.params])
+        return {
+            "key": cell.key,
+            "coords": {
+                "seed": cell.seed,
+                "cluster": cell.cluster,
+                "params": cell.params,
+                "campaign": cell.campaign,
+            },
+            "app": self.app,
+            "np": self.np,
+            "app_args": dict(self.app_args),
+            "cluster_kwargs": dict(self.clusters[cell.cluster]),
+            "cluster_seed": self.cell_seed(cell),
+            "mca_params": merged,
+            "campaign": self.campaigns[cell.campaign],
+            "timeout_s": self.timeout_s,
+        }
+
+    def describe(self) -> dict:
+        """JSON-able summary for meta-reports and bench artifacts."""
+        return {
+            "name": self.name,
+            "app": self.app,
+            "np": self.np,
+            "app_args": dict(self.app_args),
+            "fleet_seed": self.fleet_seed,
+            "seed_axes": list(self.seed_axes),
+            "seeds": list(self.seeds),
+            "clusters": {k: dict(v) for k, v in self.clusters.items()},
+            "params": {k: dict(v) for k, v in self.params.items()},
+            "base_params": dict(self.base_params),
+            "campaigns": {
+                label: {
+                    "mtbf_s": spec.mtbf_s,
+                    "max_failures": spec.max_failures,
+                    "start_at": spec.start_at,
+                    "faults": [
+                        {
+                            "kind": f.kind,
+                            "weight": f.weight,
+                            "duration_s": f.duration_s,
+                            "factor": f.factor,
+                        }
+                        for f in spec.faults
+                    ],
+                }
+                for label, spec in self.campaigns.items()
+            },
+            "cells": [cell.key for cell in self.cells()],
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+        }

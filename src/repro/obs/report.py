@@ -27,6 +27,7 @@ DEFAULT_PHASES = [
     "filem.fetch",
     "snapc.fanout",
     "snapc.meta",
+    "snapc.admission",
     "snapc.stage",
     "errmgr.detect",
     "errmgr.recover",
@@ -128,6 +129,65 @@ def render_kernel_stats(stats: dict, title: str = "kernel stats") -> str:
         value = stats[key]
         shown = f"{value:.3f}" if isinstance(value, float) else str(value)
         lines.append(f"{key:<18} {shown:>14}")
+    return "\n".join(lines)
+
+
+def render_fleet_report(fleet: dict, title: str | None = None) -> str:
+    """Monospace meta-report over a fleet-run dict.
+
+    Accepts the shape of :meth:`repro.fleet.report.FleetReport.to_dict`
+    (also written to ``FLEET_E13.json``): one row per grid cell, the
+    cross-run aggregate block, and the merged fleet-wide kernel stats.
+    """
+    cells = fleet.get("cells", {})
+    key_w = max([len("cell")] + [len(key) for key in cells])
+    header = (
+        "cell".ljust(key_w) + "  " + "ok".rjust(2) + "  "
+        + "done".rjust(5) + "  " + "faults".rjust(6) + "  "
+        + "restarts".rjust(8) + "  " + "ckpts".rjust(5) + "  "
+        + "makespan (s)".rjust(12) + "  " + "tries".rjust(5) + "  "
+        + "wall (s)".rjust(8)
+    )
+    shown_title = title or (
+        f"fleet {fleet.get('fleet', '?')}: "
+        f"{fleet.get('workers', '?')} worker(s), "
+        f"{fleet.get('wall_s', 0.0):.1f}s wall"
+    )
+    lines = [f"== {shown_title} ==", header, "-" * len(header)]
+    for key in sorted(cells):
+        cell = cells[key]
+        report = cell.get("report") or {}
+        lines.append(
+            key.ljust(key_w)
+            + f"  {'y' if cell.get('ok') else 'N':>2}"
+            + f"  {str(bool(report.get('completed'))):>5}"
+            + f"  {len(report.get('failures', [])):>6}"
+            + f"  {report.get('restarts', 0):>8}"
+            + f"  {report.get('committed_checkpoints', 0):>5}"
+            + (
+                f"  {report['makespan_s']:>12.4f}"
+                if "makespan_s" in report
+                else f"  {'-':>12}"
+            )
+            + f"  {cell.get('attempts', 1):>5}"
+            + f"  {cell.get('wall_s', 0.0):>8.2f}"
+        )
+        if cell.get("error"):
+            lines.append(" " * key_w + f"  ! {cell['error']}")
+    if not cells:
+        lines.append("(no cells)")
+    agg = fleet.get("aggregate")
+    if agg:
+        lines.append(
+            f"aggregate: {agg['ok']}/{agg['runs']} ok, "
+            f"{agg['completed']} completed, {agg['faults']} faults, "
+            f"{agg['restarts']} restarts, "
+            f"{agg['committed_checkpoints']} ckpts committed, "
+            f"{agg['work_lost_s'] * 1e3:.1f}ms work lost"
+        )
+    stats = fleet.get("kernel_stats")
+    if stats:
+        lines.append(render_kernel_stats(stats, title="fleet kernel stats"))
     return "\n".join(lines)
 
 

@@ -8,7 +8,7 @@ from repro.core.ft_event import FTState
 from repro.mca.component import Component
 from repro.netsim.transport import Endpoint
 from repro.simenv.kernel import SimGen
-from repro.util.errors import NetworkError
+from repro.util.errors import NetworkError, SimInterrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mca.registry import FrameworkRegistry
@@ -99,7 +99,7 @@ class BTLComponent(Component):
             dgram = yield from self.fabric.recv(ep)
             try:
                 self.pml.handle_incoming(dgram.payload)
-            except GeneratorExit:  # pragma: no cover - defensive
+            except (GeneratorExit, SimInterrupt):  # pragma: no cover
                 raise
             except BaseException as exc:  # noqa: BLE001
                 # A progress-engine failure corrupts the MPI library;

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.orte.oob import TAG_CKPT_REPLY, TAG_CKPT_REQUEST
 from repro.simenv.kernel import Delay, SimGen
-from repro.util.errors import CheckpointError, MPIError
+from repro.util.errors import CheckpointError, MPIError, SimInterrupt
 from repro.util.ids import hnp_name
 from repro.util.logging import get_logger
 
@@ -249,6 +249,8 @@ def drive_ops(rt, gen) -> SimGen:
             raise MPIError(f"expected an MPIOp, got {op!r}")
         try:
             result = yield from op.execute(rt)
+        except SimInterrupt:
+            raise
         except BaseException as err:  # noqa: BLE001 - forward into the gen
             exc = err
             result = None

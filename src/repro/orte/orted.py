@@ -20,7 +20,7 @@ from repro.orte.oob import (
     TAG_SNAPC_LOCAL_DONE,
 )
 from repro.simenv.kernel import SimGen, WaitEvent
-from repro.util.errors import NetworkError, ReproError
+from repro.util.errors import NetworkError, ReproError, SimInterrupt
 from repro.util.ids import hnp_name
 from repro.util.logging import get_logger
 
@@ -78,7 +78,7 @@ class Orted:
         result = None
         try:
             result = yield WaitEvent(proc.exit_event)
-        except GeneratorExit:
+        except (GeneratorExit, SimInterrupt):
             raise
         except BaseException as exc:  # noqa: BLE001 - report any failure
             failed = True

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.opal.crs import chunks as chunkstore
 from repro.orte.job import JobState
+from repro.orte.snapc.admission import StagingAdmission
 from repro.simenv.kernel import Delay, SimGen, WaitEvent
 from repro.snapshot import (
     IMAGE_FILE,
@@ -145,6 +146,13 @@ class StagingCoordinator:
         #: (opt-in; needs a FILEM component with supports_cas)
         self.cas_enabled = params.get_bool("snapc_full_cas", False)
         self.cas_root = params.get("snapc_full_cas_root", CAS_ROOT)
+        #: universe-level admission gate shared by every job's pipeline
+        #: (the per-job depth above bounds one job; this bounds them all)
+        self.admission = StagingAdmission(
+            hnp.proc.kernel,
+            tokens=params.get_int("snapc_stage_admission_tokens", 0),
+            bytes_per_s=params.get_float("snapc_stage_admission_Bps", 0.0),
+        )
         self._jobs: dict[int, _JobStaging] = {}
 
     @property
@@ -281,6 +289,10 @@ class StagingCoordinator:
             self._abort_record(st, record)
             st.inflight = max(0, st.inflight - 1)
             self._fire_slot(st)
+        # A dead job must not sit on the universe's staging capacity:
+        # force-release any admission tokens its in-flight transfer
+        # holds (the worker's own release then no-ops).
+        self.admission.release_job(jobid)
         log.warning("job %d staging pipeline aborted", jobid)
 
     _ABORT_ERROR = "staging aborted: job failed"
@@ -378,15 +390,29 @@ class StagingCoordinator:
 
         if error is not None:
             pass
-        elif record.cas:
-            # A failed base interval does not doom a CAS delta: its
-            # chunks may already sit in the store (shipped by another
-            # rank, interval, or job); the negotiation decides.
-            error = yield from self._stage_cas(record)
-        elif any(d in st.failed_dirs for d in record.base_chain):
+        elif not record.cas and any(
+            d in st.failed_dirs for d in record.base_chain
+        ):
             error = "a base interval of this delta failed to stage"
         else:
-            error = yield from self._gather_with_retry(record)
+            # The transfer itself runs under the universe-level
+            # admission gate: a token bounds concurrent stagings across
+            # all jobs, and the moved bytes are charged to the shared
+            # bandwidth budget.  Both are unlimited by default.
+            yield from self.admission.acquire(record.jobid)
+            try:
+                if record.cas:
+                    # A failed base interval does not doom a CAS delta:
+                    # its chunks may already sit in the store (shipped
+                    # by another rank, interval, or job); the
+                    # negotiation decides.
+                    error = yield from self._stage_cas(record)
+                else:
+                    error = yield from self._gather_with_retry(record)
+                if error is None and record.bytes_moved:
+                    yield from self.admission.throttle(record.bytes_moved)
+            finally:
+                self.admission.release(record.jobid)
 
         if error is None and record.compact:
             if record.cas:

@@ -32,11 +32,13 @@ from repro.simenv.campaign import (
     CampaignSpec,
     FaultCampaign,
     FaultSpec,
+    build_campaign_report,
     run_campaign,
 )
 
 __all__ = [
     "CampaignReport",
+    "build_campaign_report",
     "CampaignSpec",
     "FaultCampaign",
     "FaultSpec",

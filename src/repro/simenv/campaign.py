@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.simenv.kernel import DeadlockError, SimGen, WaitEvent
+from repro.simenv.kernel import DeadlockError, SimError, SimGen, WaitEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orte.job import Job
@@ -248,41 +248,66 @@ def follow_lineage(universe: "Universe", job: "Job") -> SimGen:
         current = successor
 
 
-def run_campaign(
-    universe: "Universe", job: "Job", spec: CampaignSpec
+def _drain_background(universe: "Universe") -> None:
+    """Let in-flight background work settle after the lineage has.
+
+    Disarmed campaign timers fire as no-ops during the drain; staging
+    workers finish committing in-flight intervals.  The ``try`` is
+    scoped to the drain alone and forgives exactly one outcome: the
+    kernel running out of runnable threads (:class:`DeadlockError`) —
+    the expected end state, since killed incarnations leave non-daemon
+    threads parked on events that will never fire.  A thread *crashing*
+    during the drain, by contrast, is a real bug and is re-raised: the
+    crash watcher piggybacks on ``kernel.trace`` (chaining to any
+    caller-installed callback) and surfaces the thread's stored
+    exception instead of letting the drain eat it.
+    """
+    kernel = universe.kernel
+    crashed: list[str] = []
+    prior = kernel.trace
+
+    def watch(t: float, name: str, ev: str) -> None:
+        if ev.startswith("crash:"):
+            crashed.append(name)
+        if prior is not None:
+            prior(t, name, ev)
+
+    kernel.trace = watch
+    try:
+        kernel.run()
+    except DeadlockError:
+        pass
+    finally:
+        kernel.trace = prior
+    if crashed:
+        for thread in kernel._threads:
+            if thread.name in crashed and thread.done._exc is not None:
+                raise thread.done._exc
+        raise SimError(
+            f"thread(s) crashed during campaign drain: {sorted(set(crashed))}"
+        )
+
+
+def build_campaign_report(
+    universe: "Universe", job: "Job", campaign: FaultCampaign, makespan: float
 ) -> CampaignReport:
-    """Drive the kernel through a campaign against *job*'s lineage."""
+    """Assemble the post-campaign report for *job*'s settled lineage.
+
+    Shared by the single-run path (:func:`run_campaign`) and the fleet
+    worker (``repro.fleet.runner``), so lineage filtering, committed-
+    interval counting, and fault tallies have exactly one
+    implementation.  The final incarnation is the lineage's newest
+    jobid — restarts always mint fresh, larger jobids, so the job that
+    FINISHED (or the last FAILED one when recovery gave up) is the max.
+    """
     from repro.orte.job import JobState
     from repro.snapshot import STAGE_COMMITTED
 
-    campaign = FaultCampaign(universe, spec)
-    campaign.arm()
-    marks: dict[str, float] = {}
-
-    def tracked() -> SimGen:
-        # Stamp the settle time from inside the simulation: kernel.now
-        # read after run_until_complete() would include whatever later
-        # campaign timers the final drain happened to process.
-        final = yield from follow_lineage(universe, job)
-        marks["settled_at"] = universe.kernel.now
-        return final
-
-    thread = universe.kernel.spawn(tracked(), name=f"campaign-job{job.jobid}")
-    final = universe.kernel.run_until_complete(thread)
-    makespan = marks.get("settled_at", universe.kernel.now)
-    campaign.stop()
-    try:
-        # Let in-flight background staging settle (disarmed campaign
-        # timers fire as no-ops during the drain).
-        universe.kernel.run()
-    except DeadlockError:
-        pass
-
     errmgr = universe.hnp.errmgr
-    recovered = [r for r in errmgr.recovery_log if r.recovered]
+    lineage = errmgr.lineage_jobids(job)
+    final = universe.jobs[max(lineage)]
     # Committed intervals of the *followed lineage only* — a stager in
     # a multi-job universe holds other jobs' records too.
-    lineage = errmgr.lineage_jobids(job)
     committed = 0
     stager_fn = getattr(universe.hnp.snapc, "stager", None)
     if stager_fn is not None:
@@ -299,7 +324,7 @@ def run_campaign(
     lineage_records = [
         r for r in errmgr.recovery_log if r.failed_jobid in lineage
     ]
-    lineage_recovered = [r for r in recovered if r.failed_jobid in lineage]
+    lineage_recovered = [r for r in lineage_records if r.recovered]
     return CampaignReport(
         completed=final.state == JobState.FINISHED,
         final_jobid=final.jobid,
@@ -315,3 +340,27 @@ def run_campaign(
         committed_checkpoints=committed,
         fault_counts=fault_counts,
     )
+
+
+def run_campaign(
+    universe: "Universe", job: "Job", spec: CampaignSpec
+) -> CampaignReport:
+    """Drive the kernel through a campaign against *job*'s lineage."""
+    campaign = FaultCampaign(universe, spec)
+    campaign.arm()
+    marks: dict[str, float] = {}
+
+    def tracked() -> SimGen:
+        # Stamp the settle time from inside the simulation: kernel.now
+        # read after run_until_complete() would include whatever later
+        # campaign timers the final drain happened to process.
+        final = yield from follow_lineage(universe, job)
+        marks["settled_at"] = universe.kernel.now
+        return final
+
+    thread = universe.kernel.spawn(tracked(), name=f"campaign-job{job.jobid}")
+    universe.kernel.run_until_complete(thread)
+    makespan = marks.get("settled_at", universe.kernel.now)
+    campaign.stop()
+    _drain_background(universe)
+    return build_campaign_report(universe, job, campaign, makespan)

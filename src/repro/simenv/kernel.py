@@ -40,7 +40,7 @@ import time as _time
 from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
-from repro.util.errors import DeadlockError, SimError
+from repro.util.errors import DeadlockError, SimError, SimInterrupt
 from repro.util.logging import get_logger
 
 log = get_logger("simenv.kernel")
@@ -426,6 +426,33 @@ class KernelStats:
         self.run_wall_s = 0.0    # wall-clock spent inside run()
         self.run_cpu_s = 0.0     # process CPU time spent inside run()
 
+    #: counters that add across kernels when stats blocks are merged
+    _SUM_FIELDS = (
+        "events", "ready_hits", "heap_pushes", "heap_pops",
+        "threads_spawned", "threads_reaped", "waits_any", "waits_all",
+        "run_wall_s", "run_cpu_s",
+    )
+    #: high-water marks: the fleet-wide peak is the max of the peaks
+    _MAX_FIELDS = ("peak_heap", "peak_ready")
+
+    def merge(self, other: "KernelStats | dict") -> "KernelStats":
+        """Fold another stats block into this one.
+
+        Counters add, peaks take the max, and the derived rates
+        (``events_per_sec`` / ``events_per_cpu_sec``) recompute on
+        export from the summed totals — so a fleet of per-process
+        kernels aggregates into one block whose events-per-CPU-second
+        is the fleet-wide throughput.  Accepts a live block or its
+        :meth:`to_dict` export (fleet workers ship dicts across the
+        process boundary); derived keys in a dict input are ignored.
+        """
+        data = other if isinstance(other, dict) else other.to_dict()
+        for name in self._SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + data.get(name, 0))
+        for name in self._MAX_FIELDS:
+            setattr(self, name, max(getattr(self, name), data.get(name, 0)))
+        return self
+
     def to_dict(self) -> dict:
         wall = self.run_wall_s
         cpu = self.run_cpu_s
@@ -606,6 +633,11 @@ class Kernel:
             if self.trace:
                 self.trace(self.now, thread.name, "exit")
             return
+        except (SimInterrupt, KeyboardInterrupt, SystemExit):
+            # Out-of-band interrupts (wall-clock watchdogs, Ctrl-C)
+            # abort the whole run — they are not a crash of whichever
+            # thread they happened to land in.
+            raise
         except BaseException as err:
             if thread.alive:
                 thread.alive = False
@@ -805,6 +837,8 @@ def _watcher_first_of(
         def watcher() -> SimGen:
             try:
                 value = yield WaitEvent(ev)
+            except SimInterrupt:
+                raise
             except BaseException as exc:
                 if not winner.fired:
                     winner.fire((i, None, exc))
@@ -834,6 +868,8 @@ def _watcher_join_all(
         def watcher() -> SimGen:
             try:
                 results[i] = yield WaitEvent(ev)
+            except SimInterrupt:
+                raise
             except BaseException as exc:
                 if not joined.fired:
                     joined.fail(exc)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.simenv.kernel import SimGen, SimThread
-from repro.util.errors import ProcessFailedError
+from repro.util.errors import ProcessFailedError, SimInterrupt
 from repro.util.ids import ProcessName
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -130,6 +130,10 @@ def run_process_main(
         try:
             result = yield from main()
         except GeneratorExit:
+            raise
+        except SimInterrupt:
+            # Out-of-band interrupt of the whole run (wall-clock
+            # watchdog): not this process dying — let it abort run().
             raise
         except BaseException as exc:
             proc.kill(exc)

@@ -173,10 +173,56 @@ def main_migrate(argv=None) -> int:
     return 0 if migrated.state.value == "finished" else 1
 
 
+def _main_trace_fleet(argv) -> int:
+    """``ompi-trace fleet``: run the demo campaign fleet and print the
+    cross-run meta-report (see docs/FLEET.md)."""
+    import json
+
+    from repro.fleet import FleetRunner
+    from repro.fleet.presets import demo_fleet
+    from repro.obs.report import render_fleet_report
+
+    parser = argparse.ArgumentParser(
+        prog="ompi-trace fleet",
+        description="Run the demo campaign fleet grid and print the "
+        "cross-run meta-report.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (1 = serial, same results either way)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seed replicas to sweep",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the fleet meta-report JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    spec = demo_fleet(seeds=tuple(args.seeds))
+    report = FleetRunner(spec, progress=print).run(workers=args.workers)
+    print(render_fleet_report(report.to_dict()))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"fleet report written to {args.json}")
+    return 0 if all(cell.ok for cell in report.cells) else 1
+
+
 def main_trace(argv=None) -> int:
     """ompi-trace: run + checkpoint with the span recorder on, then
-    print the per-phase cost breakdown (and optionally dump the JSON)."""
+    print the per-phase cost breakdown (and optionally dump the JSON).
+    ``ompi-trace fleet ...`` instead runs a whole campaign fleet and
+    prints its cross-run meta-report."""
+    import sys
+
     from repro.obs.report import render_phase_report
+
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list[:1] == ["fleet"]:
+        return _main_trace_fleet(arg_list[1:])
 
     parser = _common_parser(
         "Run a job, checkpoint it with tracing enabled, and report "
@@ -187,7 +233,7 @@ def main_trace(argv=None) -> int:
         "--json", default=None, metavar="PATH",
         help="also write the raw trace JSON to PATH",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arg_list)
     universe = _universe(args.nodes, obs_trace_enabled="1")
     job = ompi_run(
         universe,

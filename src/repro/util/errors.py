@@ -65,6 +65,17 @@ class ProcessFailedError(SimError):
     """An operation touched a process that has been killed or crashed."""
 
 
+class SimInterrupt(BaseException):
+    """Out-of-band interrupt of a simulation run.
+
+    Deliberately *not* a :class:`ReproError`: the kernel treats any
+    exception escaping a thread step as that thread crashing, but a
+    wall-clock watchdog (or Ctrl-C) that fires mid-step is aimed at
+    the whole run, not at whichever thread it happened to land in.
+    Subclasses pass straight through ``Kernel.run()`` to the caller.
+    """
+
+
 # --------------------------------------------------------------------------
 # Substrates
 # --------------------------------------------------------------------------
