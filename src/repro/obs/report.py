@@ -31,6 +31,22 @@ DEFAULT_PHASES = [
     "snapc.stage",
     "errmgr.detect",
     "errmgr.recover",
+    "statestore.append",
+    "statestore.replay",
+    "hnp.failover",
+]
+
+#: the control-plane failover breakdown (``ompi-trace failover``)
+FAILOVER_PHASES = [
+    "statestore.append",
+    "statestore.compact",
+    "statestore.replay",
+    "hnp.election",
+    "hnp.failover",
+    "errmgr.detect",
+    "errmgr.recover",
+    "snapc.stage",
+    "snapc.meta",
 ]
 
 

@@ -138,8 +138,6 @@ class ErrMgr:
         self._attempts: dict[int, int] = {}
         #: lineage roots with a recovery currently in flight
         self._recovering: set[int] = set()
-        #: failed jobid -> event fired with the successor Job (or None)
-        self._outcomes: dict[int, "SimEvent"] = {}
         #: lineage root -> detection timestamps of its failures (fed to
         #: the adaptive checkpoint scheduler's MTBF estimate)
         self._failures_by_root: dict[int, list[float]] = {}
@@ -155,7 +153,17 @@ class ErrMgr:
         ``process:`` injections are routed through the same rank-failure
         policy rather than relying on the PROC_EXIT message surviving.
         """
+        universe = self.hnp.universe
+        if universe.hnp is not self.hnp:
+            # A newer incarnation owns failure handling; this instance
+            # (subscribed by a replaced HNP) stands down.
+            return
         if not self.hnp.proc.alive:
+            # The HNP died with (or before) this failure.  Giving up
+            # here used to silently drop the recovery work; with the
+            # durable control plane the failure is buffered and handed
+            # to the next incarnation during rehydration instead.
+            universe.note_orphaned_failure(description)
             return
         kind, _, target = description.partition(":")
         if kind == "node":
@@ -273,18 +281,133 @@ class ErrMgr:
 
         Fires with the successor :class:`Job` when recovery succeeded,
         or ``None`` when recovery was disabled, impossible, or
-        exhausted.  Campaign harnesses follow lineages with this.
+        exhausted.  Campaign harnesses follow lineages with this.  The
+        events live on the universe, not this instance: a follower
+        waiting on an outcome must still be woken when the episode is
+        finished by a *different* ErrMgr after an HNP failover.
         """
-        event = self._outcomes.get(jobid)
+        outcomes = self.hnp.universe.recovery_outcomes
+        event = outcomes.get(jobid)
         if event is None:
             event = self.hnp.proc.kernel.event(f"errmgr.outcome.job{jobid}")
-            self._outcomes[jobid] = event
+            outcomes[jobid] = event
         return event
 
     def _settle(self, jobid: int, successor: "Job | None") -> None:
         event = self.recovery_outcome(jobid)
         if not event.fired:
             event.fire(successor)
+
+    # -- durable state (HNP failover) --------------------------------------------
+
+    #: RecoveryRecord fields that persist (derived properties such as
+    #: latency_s must not round-trip into the constructor)
+    _RECORD_FIELDS = (
+        "failed_jobid", "detected_at", "new_jobid", "recovered_at",
+        "attempts", "snapshot", "snapshot_sim_time", "error",
+    )
+
+    def _persist(self) -> None:
+        """Journal lineages, budgets, and the episode log to the store."""
+        store = self.hnp.statestore
+        if not store.enabled:
+            return
+        store.put(
+            "errmgr", "lineage",
+            {str(k): v for k, v in self._lineage.items()},
+        )
+        store.put(
+            "errmgr", "attempts",
+            {str(k): v for k, v in self._attempts.items()},
+        )
+        store.put(
+            "errmgr", "failures",
+            {str(k): list(v) for k, v in self._failures_by_root.items()},
+        )
+        store.put(
+            "errmgr", "log",
+            [
+                {f: getattr(r, f) for f in self._RECORD_FIELDS}
+                for r in self.recovery_log
+            ],
+        )
+
+    def rehydrate(self, table: dict) -> None:
+        """Restore lineages, recovery budgets, and the episode log.
+
+        The budget restore is the safety-critical part: a failed-over
+        HNP that forgot ``_attempts`` would grant every lineage a fresh
+        ``max_recoveries`` budget after each crash of the control
+        plane, unbounding recovery.
+        """
+        self._lineage = {
+            int(k): int(v) for k, v in table.get("lineage", {}).items()
+        }
+        self._attempts = {
+            int(k): int(v) for k, v in table.get("attempts", {}).items()
+        }
+        self._failures_by_root = {
+            int(k): list(v) for k, v in table.get("failures", {}).items()
+        }
+        self.recovery_log = [
+            RecoveryRecord(
+                **{f: d.get(f) for f in self._RECORD_FIELDS if f in d}
+            )
+            for d in table.get("log", [])
+        ]
+        self.recoveries = [
+            (r.failed_jobid, r.new_jobid)
+            for r in self.recovery_log
+            if r.recovered
+        ]
+
+    def resume_pending(self) -> None:
+        """Resume recovery episodes the dead incarnation left open.
+
+        An episode is open when its job is FAILED but its outcome event
+        never fired.  Lineage roots already being recovered (for
+        instance via an orphaned-failure hand-off moments ago) are
+        skipped — their in-flight episode settles the outcome.
+        """
+        universe = self.hnp.universe
+        scheduled: set[int] = set()
+        for jobid in sorted(universe.jobs):
+            job = universe.jobs[jobid]
+            if job.state != JobState.FAILED:
+                continue
+            if self.recovery_outcome(jobid).fired:
+                continue
+            root = self._root_of(job)
+            if root in self._recovering or root in scheduled:
+                continue
+            scheduled.add(root)
+            record = next(
+                (
+                    r for r in self.recovery_log
+                    if r.failed_jobid == jobid
+                    and not r.recovered
+                    and r.error is None
+                ),
+                None,
+            )
+            self.hnp.proc.spawn_thread(
+                self._resume(job, root, record),
+                name=f"errmgr-resume-job{jobid}",
+                daemon=True,
+            )
+
+    def _resume(
+        self, job: Job, root: int, record: "RecoveryRecord | None"
+    ) -> SimGen:
+        log.warning(
+            "resuming interrupted recovery of job %d after HNP failover",
+            job.jobid,
+        )
+        if self.autorecover and job.snapshots:
+            yield from self._autorecover(job, root, record)
+        else:
+            self._settle(job.jobid, None)
+        return None
 
     # -- policy ------------------------------------------------------------------
 
@@ -301,6 +424,7 @@ class ErrMgr:
         self._failures_by_root.setdefault(root, []).append(
             self.hnp.proc.kernel.now
         )
+        self._persist()
         span = self.hnp.proc.kernel.tracer.begin(
             "errmgr.detect", cat="errmgr", jobid=job.jobid, rank=rank,
             root=root, detail=str(detail),
@@ -338,10 +462,20 @@ class ErrMgr:
 
     # -- recovery ----------------------------------------------------------------
 
-    def _autorecover(self, job: Job, root: int) -> SimGen:
+    def _autorecover(
+        self, job: Job, root: int, record: "RecoveryRecord | None" = None
+    ) -> SimGen:
+        if root in self._recovering:
+            # A concurrent path (failover resume racing a fresh
+            # detection) already owns this lineage's episode.
+            return None
         kernel = self.hnp.proc.kernel
-        record = RecoveryRecord(failed_jobid=job.jobid, detected_at=kernel.now)
-        self.recovery_log.append(record)
+        if record is None:
+            record = RecoveryRecord(
+                failed_jobid=job.jobid, detected_at=kernel.now
+            )
+            self.recovery_log.append(record)
+        self._persist()
         self._recovering.add(root)
         retry = 0
         #: refs that failed a restart *this episode* — skipped until the
@@ -357,6 +491,7 @@ class ErrMgr:
                         f"({spent}/{self.max_recoveries} attempts)"
                     )
                     log.warning("job %d: %s", job.jobid, record.error)
+                    self._persist()
                     self._settle(job.jobid, None)
                     return None
                 picked = yield from self._pick_snapshot(job, skip)
@@ -365,6 +500,7 @@ class ErrMgr:
                         "no committed snapshot with an intact base chain"
                     )
                     log.warning("job %d: %s", job.jobid, record.error)
+                    self._persist()
                     self._settle(job.jobid, None)
                     return None
                 ref, meta = picked
@@ -373,6 +509,9 @@ class ErrMgr:
                 self._attempts[root] = spent + 1
                 record.attempts += 1
                 retry += 1
+                # Durable *before* the restart runs: a failed-over HNP
+                # must charge this attempt against the lineage budget.
+                self._persist()
                 span = kernel.tracer.begin(
                     "errmgr.recover", cat="errmgr", jobid=job.jobid,
                     attempt=record.attempts, snapshot=ref.path,
@@ -414,6 +553,7 @@ class ErrMgr:
                 record.recovered_at = kernel.now
                 record.snapshot = ref.path
                 record.snapshot_sim_time = meta.sim_time
+                self._persist()
                 self._seed_baseline(job, new_job, ref)
                 self._settle(job.jobid, new_job)
                 log.warning(

@@ -19,6 +19,7 @@ from repro.orte.oob import (
     TAG_CKPT_READY,
     TAG_CKPT_REPLY,
     TAG_CKPT_REQUEST,
+    TAG_HNP_HEARTBEAT,
     TAG_INIT_GO,
     TAG_INIT_READY,
     TAG_MIGRATE_REPLY,
@@ -45,10 +46,18 @@ log = get_logger("orte.hnp")
 class HNP:
     """The mpirun process's brain."""
 
-    def __init__(self, universe: "Universe", proc: "SimProcess"):
+    def __init__(
+        self, universe: "Universe", proc: "SimProcess", recovered: bool = False
+    ):
         self.universe = universe
         self.proc = proc
+        #: True for an incarnation installed by HNP failover
+        self.recovered = recovered
         self.rml = RML(universe, proc)
+        #: durable control-plane store; the writer thread runs in this
+        #: incarnation's process, so it dies (and is re-attached) with it
+        self.statestore = universe.statestore
+        self.statestore.attach(proc)
         self.registry = universe.make_registry()
         self.plm = self.registry.framework("plm").open(universe.params, context=self)
         self.snapc = self.registry.framework("snapc").open(universe.params, context=self)
@@ -60,6 +69,10 @@ class HNP:
         #: jobid -> queue of INIT_READY payloads
         self._init_queues: dict[int, Queue] = {}
         self._start_handlers()
+        if universe.failover_enabled:
+            self.proc.spawn_thread(
+                self._drain_heartbeats(), name="hnp-heartbeat", daemon=True
+            )
 
     # -- handler plumbing ---------------------------------------------------
 
@@ -87,11 +100,46 @@ class HNP:
                 handler(sender, payload), name=f"hnp-{tag}-worker", daemon=True
             )
 
+    def _drain_heartbeats(self) -> SimGen:
+        """Answer route-probes by existing: orted watchers only need
+        the send to succeed, so draining the tag is the whole job."""
+        while True:
+            yield from self.rml.recv(TAG_HNP_HEARTBEAT)
+
+    # -- control-plane persistence -------------------------------------------
+
+    def _persist_job(self, job: Job) -> None:
+        """Journal *job*'s control-plane view to the state store."""
+        self.statestore.put(
+            "jobs",
+            str(job.jobid),
+            {
+                "app": job.app.name,
+                "app_args": dict(job.app.args),
+                "np": job.np,
+                "state": job.state.value,
+                "placements": {str(r): n for r, n in job.placements.items()},
+                "restarted_from": (
+                    job.restarted_from.path
+                    if job.restarted_from is not None
+                    else None
+                ),
+                "next_interval": job.next_interval,
+                "snapshots": [ref.path for ref in job.snapshots],
+            },
+        )
+
+    def _persist_ready(self, jobid: int) -> None:
+        self.statestore.put(
+            "ready", str(jobid), sorted(self.ckpt_ready.get(jobid, set()))
+        )
+
     # -- job launch -----------------------------------------------------------
 
     def submit(self, job: Job) -> None:
         """Asynchronously launch *job* (called from outside the sim)."""
         specs = self._plan_placement(job)
+        self._persist_job(job)
         self.proc.spawn_thread(
             self._launch_wrapper(job, specs), name=f"hnp-launch-job{job.jobid}",
             daemon=True,
@@ -128,6 +176,7 @@ class HNP:
         """PLM launch + the MPI_INIT rendezvous (modex exchange)."""
         job.state = JobState.LAUNCHING
         job.placements = {s.rank: s.node_name for s in specs}
+        self._persist_job(job)
         init_queue = self.proc.kernel.queue(f"init.job{job.jobid}")
         self._init_queues[job.jobid] = init_queue
         yield from self.plm.launch(self, specs)
@@ -152,6 +201,7 @@ class HNP:
                 {"modex": modex, "np": job.np},
             )
         job.state = JobState.RUNNING
+        self._persist_job(job)
         self._init_queues.pop(job.jobid, None)
         # Recovered jobs come through here too, so every incarnation
         # keeps checkpointing on the configured cadence.
@@ -175,6 +225,9 @@ class HNP:
         failed = payload.get("failed", False)
         job.note_exit(rank, payload.get("result"), failed)
         self.ckpt_ready.get(jobid, set()).discard(rank)
+        if self.statestore.enabled:
+            self._persist_job(job)
+            self._persist_ready(jobid)
         if failed:
             init_queue = self._init_queues.get(jobid)
             if init_queue is not None:
@@ -196,6 +249,8 @@ class HNP:
             ready.add(payload["rank"])
         else:
             ready.discard(payload["rank"])
+        if self.statestore.enabled:
+            self._persist_ready(payload["jobid"])
         yield from ()
         return None
 
@@ -303,3 +358,143 @@ class HNP:
         except NetworkError:
             pass
         return None
+
+    # -- failover rehydration --------------------------------------------------
+
+    def rehydrate(self) -> SimGen:
+        """Rebuild the control plane from the durable store (new HNP).
+
+        Ordering is load-bearing: (1) replay the store; (2) restore the
+        jobid floor before anything can mint a job; (3) error-manager
+        lineages/budgets and scheduler cadence state, which later steps
+        consult; (4) checkpointable-rank registrations, filtered to
+        ranks still alive; (5) reclaim admission tokens orphaned by the
+        dead incarnation's transfers, then rebuild staging from the
+        persisted interval records (committed intervals adopted,
+        in-flight ones re-staged idempotently); (6) hand off failures
+        injected while no HNP was alive; (7) re-attach live jobs and
+        re-plan half-launched incarnations; (8) resume recovery
+        episodes the old HNP left unsettled.
+        """
+        from repro.simenv.kernel import Delay
+
+        universe = self.universe
+        span = self.proc.kernel.tracer.begin(
+            "hnp.failover", cat="orte", node=self.proc.node.name
+        )
+        tables = yield from self.statestore.replay()
+        floor = int(tables.get("universe", {}).get("jobid_floor", 0) or 0)
+        universe.restore_jobid_floor(floor)
+        # Live Job objects survive in universe.jobs (campaign followers
+        # hold references to them and their done events); the persisted
+        # records contribute the counters only the store kept durable.
+        for key, rec in tables.get("jobs", {}).items():
+            job = universe.jobs.get(int(key))
+            if job is not None and rec.get("next_interval"):
+                job.next_interval = max(
+                    job.next_interval, int(rec["next_interval"])
+                )
+        self.errmgr.rehydrate(tables.get("errmgr", {}))
+        self.ckpt_scheduler.rehydrate(tables.get("sched", {}))
+        self._rehydrate_ready(tables.get("ready", {}))
+        tokens_freed = 0
+        restaged = lost = adopted = 0
+        stager_fn = getattr(self.snapc, "stager", None)
+        if stager_fn is not None:
+            stager = stager_fn(self)
+            tokens_freed = stager.admission.reclaim_all()
+            restaged, lost, adopted = yield from stager.rehydrate(
+                tables.get("staging", {})
+            )
+        # Failures injected while no HNP was alive hand off here; one
+        # zero-delay hop lets the spawned handlers mark their jobs
+        # FAILED before the re-attach pass assesses states.
+        orphaned = universe.drain_orphaned_failures()
+        for description in orphaned:
+            self.errmgr._on_injected_failure(description)
+        if orphaned:
+            yield Delay(0.0)
+        reattached, replanned = self._reattach_jobs()
+        self.errmgr.resume_pending()
+        span.end(
+            tokens_freed=tokens_freed,
+            committed_adopted=adopted,
+            restaged=restaged,
+            lost=lost,
+            orphaned=len(orphaned),
+            reattached=reattached,
+            replanned=replanned,
+        )
+        log.warning(
+            "HNP on %s rehydrated: %d interval(s) adopted, %d restaged, "
+            "%d lost, %d job(s) reattached, %d re-planned",
+            self.proc.node.name, adopted, restaged, lost, reattached,
+            replanned,
+        )
+        return None
+
+    def _rehydrate_ready(self, table: dict) -> None:
+        """Checkpointable-rank registrations, filtered to live ranks."""
+        for key, ranks in table.items():
+            jobid = int(key)
+            job = self.universe.jobs.get(jobid)
+            if job is None or job.is_done:
+                continue
+            live = {
+                int(r) for r in ranks
+                if self.universe.lookup(ProcessName(jobid, int(r)))
+                is not None
+            }
+            if live:
+                self.ckpt_ready[jobid] = live
+
+    def _reattach_jobs(self) -> tuple[int, int]:
+        """Adopt or re-plan every non-terminal job; returns the counts
+        ``(reattached, replanned)``.
+
+        RUNNING jobs with all ranks alive re-attach to the checkpoint
+        scheduler.  CHECKPOINTING flips back to RUNNING first — the
+        coordination RPCs died with the old HNP, but the orted-side
+        local phase settles on its own and the ranks resume computing.
+        A job caught LAUNCHING lost its modex rendezvous and cannot be
+        completed, only re-planned through the error manager; PENDING
+        jobs are simply re-submitted.  Jobs with dead ranks go down the
+        ordinary rank-failure path (detection the PROC_EXIT message
+        never got to deliver).
+        """
+        universe = self.universe
+        reattached = replanned = 0
+        for jobid in sorted(universe.jobs):
+            job = universe.jobs[jobid]
+            if job.is_done:
+                continue
+            if job.state == JobState.PENDING:
+                self.submit(job)
+                replanned += 1
+                continue
+            if job.state == JobState.LAUNCHING:
+                job.mark_failed()
+                self.errmgr._abort_survivors(job)
+                self._persist_job(job)
+                replanned += 1
+                continue
+            if job.state == JobState.CHECKPOINTING:
+                job.state = JobState.RUNNING
+            dead = [
+                rank for rank in range(job.np)
+                if self.universe.lookup(ProcessName(job.jobid, rank)) is None
+            ]
+            if dead:
+                self.proc.spawn_thread(
+                    self.errmgr._handle_lost_ranks(
+                        job, dead, "rank lost across HNP failover"
+                    ),
+                    name=f"errmgr-failover-job{job.jobid}",
+                    daemon=True,
+                )
+                replanned += 1
+            else:
+                self.ckpt_scheduler.attach(job)
+                reattached += 1
+            self._persist_job(job)
+        return reattached, replanned

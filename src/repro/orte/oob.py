@@ -59,6 +59,8 @@ TAG_MODEX = "grpcomm.modex"               # endpoint/business-card exchange
 TAG_PS_REQUEST = "tool.ps"                # ompi-ps
 TAG_PS_REPLY = "tool.ps_reply"
 
+TAG_HNP_HEARTBEAT = "orte.hnp_heartbeat"  # orted -> HNP: liveness probe
+
 
 def payload_nbytes(payload: Any) -> int:
     """Wire size estimate of a control message."""

@@ -13,13 +13,14 @@ from typing import TYPE_CHECKING
 from repro.orte.job import ProcSpec
 from repro.orte.oob import (
     RML,
+    TAG_HNP_HEARTBEAT,
     TAG_LAUNCH,
     TAG_LAUNCH_ACK,
     TAG_PROC_EXIT,
     TAG_SNAPC_LOCAL,
     TAG_SNAPC_LOCAL_DONE,
 )
-from repro.simenv.kernel import SimGen, WaitEvent
+from repro.simenv.kernel import Delay, SimGen, WaitEvent
 from repro.util.errors import NetworkError, ReproError, SimInterrupt
 from repro.util.ids import hnp_name
 from repro.util.logging import get_logger
@@ -46,6 +47,10 @@ class Orted:
         self.local_procs: list["SimProcess"] = []
         self.proc.spawn_thread(self._serve_launch(), name="orted-launch", daemon=True)
         self.proc.spawn_thread(self._serve_snapc(), name="orted-snapc", daemon=True)
+        if universe.failover_enabled:
+            self.proc.spawn_thread(
+                self._watch_hnp(), name="orted-hnp-watch", daemon=True
+            )
 
     # -- launch ----------------------------------------------------------------
 
@@ -100,6 +105,59 @@ class Orted:
         except NetworkError:
             pass  # we are probably going down with the node
         return None
+
+    # -- HNP failover watch ------------------------------------------------------
+
+    def _watch_hnp(self) -> SimGen:
+        """Monitor the HNP; run the deterministic election on its death.
+
+        Zero-cost while healthy: the watcher parks on the HNP process's
+        exit event and posts no timers (a free-running heartbeat clock
+        would keep the simulation from ever draining).  Only after the
+        HNP goes down does it enter a timed probe loop over the OOB
+        heartbeat tag, which ends as soon as a successor binds the
+        mpirun name — every surviving watcher computes the same
+        election order (:meth:`Universe.electable_orteds`), so exactly
+        one of them calls the election and the rest stand down.
+        """
+        universe = self.universe
+        while True:
+            hnp = universe.hnp
+            if hnp is None:
+                return None
+            if hnp.proc.alive:
+                try:
+                    yield WaitEvent(hnp.proc.exit_event)
+                except (GeneratorExit, SimInterrupt):
+                    raise
+                except BaseException:  # noqa: BLE001 - a killed HNP fails the event
+                    pass
+            # Failover-window pacing: one heartbeat of grace, then
+            # probe.  The timers stop once a live HNP answers the
+            # route, so the kernel can drain after the handoff.
+            yield Delay(universe.heartbeat_s)
+            try:
+                yield from self.rml.send(
+                    hnp_name(),
+                    TAG_HNP_HEARTBEAT,
+                    {"vpid": self.proc.name.vpid, "node": self.node.name},
+                )
+                continue  # a (possibly new) HNP answered the route
+            except NetworkError:
+                pass
+            if universe.failover_in_flight:
+                continue
+            candidates = universe.electable_orteds()
+            if not candidates:
+                return None  # no survivors; the universe is lost
+            if candidates[0] is not self:
+                continue  # the lowest-id survivor runs the election
+            span = self.proc.kernel.tracer.begin(
+                "hnp.election", cat="orte", node=self.node.name,
+                vpid=self.proc.name.vpid,
+            )
+            elected = universe.elect_hnp(self)
+            span.end(elected=elected)
 
     # -- SNAPC local coordinator -------------------------------------------------
 

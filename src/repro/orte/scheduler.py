@@ -142,6 +142,37 @@ class CheckpointScheduler:
             self._estimators[root] = est
         return est
 
+    def _persist_cadence(self, root: int) -> None:
+        """Journal *root*'s cadence observations to the state store."""
+        store = self.hnp.statestore
+        if not store.enabled:
+            return
+        est = self._estimators.get(root)
+        store.put(
+            "sched",
+            str(root),
+            {
+                "observe_start": self._observe_start.get(root),
+                "costs": list(est._costs) if est is not None else [],
+            },
+        )
+
+    def rehydrate(self, table: dict) -> None:
+        """Restore per-lineage cadence state after an HNP failover.
+
+        Without this a failed-over adaptive scheduler would restart its
+        MTBF observation window and forget every cost sample, snapping
+        every lineage back to the cold-start cadence.
+        """
+        for key, rec in table.items():
+            root = int(key)
+            start = rec.get("observe_start")
+            if start is not None:
+                self._observe_start.setdefault(root, float(start))
+            costs = [float(c) for c in rec.get("costs", [])]
+            if costs:
+                self._estimator(root)._costs = costs[-DalyEstimator.WINDOW:]
+
     def _mtbf(self, job: Job, root: int) -> float | None:
         """Observed lineage lifetime over failure count (None cold)."""
         times = self.hnp.errmgr.lineage_failure_times(job)
@@ -192,6 +223,7 @@ class CheckpointScheduler:
         self._attached.add(job.jobid)
         root = self.hnp.errmgr.lineage_root(job)
         self._observe_start.setdefault(root, self.hnp.proc.kernel.now)
+        self._persist_cadence(root)
         self.hnp.proc.spawn_thread(
             self._loop(job), name=f"ckpt-sched-job{job.jobid}", daemon=True
         )
@@ -275,6 +307,7 @@ class CheckpointScheduler:
         # The request returns at app resume: its duration is the
         # app-blocked cost C of the Young/Daly formula.
         self._estimator(root).observe_cost(kernel.now - started)
+        self._persist_cadence(root)
         self.taken.append((job.jobid, ref.path))
         kernel.tracer.count("snapc.scheduled_ckpts")
         return None

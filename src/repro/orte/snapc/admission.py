@@ -137,6 +137,26 @@ class StagingAdmission:
             self._grant_next()
         return freed
 
+    def holders(self) -> list[int]:
+        """Jobids currently holding tokens (diagnostics, failover)."""
+        return sorted(j for j, n in self._held.items() if n > 0)
+
+    def reclaim_all(self) -> int:
+        """HNP failover: return every held token to the pool.
+
+        Every holder and every queued waiter was a thread of the dead
+        HNP process, so unlike :meth:`release_job` the freed tokens
+        must *not* be handed to waiters — those threads will never run
+        again, and a direct handoff would park the capacity on a corpse
+        forever.  Clears the holder table and the waiter FIFO and
+        refills the pool; returns how many tokens were reclaimed.
+        """
+        reclaimed = sum(self._held.values())
+        self._held.clear()
+        self._waiters.clear()
+        self._available = self.tokens
+        return reclaimed
+
     # -- shared byte budget --------------------------------------------------
 
     def throttle(self, nbytes: int) -> SimGen:

@@ -51,6 +51,8 @@ from repro.snapshot import (
     GlobalSnapshotRef,
     LocalSnapshotMeta,
     LocalSnapshotRef,
+    read_global_meta,
+    read_local_meta,
     write_global_meta,
     write_local_meta,
 )
@@ -147,12 +149,19 @@ class StagingCoordinator:
         self.cas_enabled = params.get_bool("snapc_full_cas", False)
         self.cas_root = params.get("snapc_full_cas_root", CAS_ROOT)
         #: universe-level admission gate shared by every job's pipeline
-        #: (the per-job depth above bounds one job; this bounds them all)
-        self.admission = StagingAdmission(
-            hnp.proc.kernel,
-            tokens=params.get_int("snapc_stage_admission_tokens", 0),
-            bytes_per_s=params.get_float("snapc_stage_admission_Bps", 0.0),
-        )
+        #: (the per-job depth above bounds one job; this bounds them all).
+        #: Cached on the universe so an HNP failover replaces the
+        #: coordinator but not the gate: counters survive, and the
+        #: rehydrating HNP can reclaim tokens the dead one's transfers
+        #: still held.
+        universe = hnp.universe
+        if universe.staging_admission is None:
+            universe.staging_admission = StagingAdmission(
+                hnp.proc.kernel,
+                tokens=params.get_int("snapc_stage_admission_tokens", 0),
+                bytes_per_s=params.get_float("snapc_stage_admission_Bps", 0.0),
+            )
+        self.admission = universe.staging_admission
         self._jobs: dict[int, _JobStaging] = {}
 
     @property
@@ -238,6 +247,38 @@ class StagingCoordinator:
             "compact": len(st.chain_dirs) + 1 > self.max_chain,
         }
 
+    # -- durable state -------------------------------------------------------
+
+    def _persist_record(self, record: StagingRecord) -> None:
+        """Journal *record*'s lifecycle state to the control-plane store.
+
+        Written at dispatch (``staging``) and at every settle
+        (``committed``/``failed``), so a failed-over HNP knows exactly
+        which intervals were in flight and which are durable — the
+        COMMITTED set in the store is the never-re-ship contract.
+        """
+        store = self.hnp.statestore
+        if not store.enabled:
+            return
+        store.put(
+            "staging",
+            f"{record.jobid}.{record.interval}",
+            {
+                "jobid": record.jobid,
+                "interval": record.interval,
+                "path": record.ref.path,
+                "kind": record.kind,
+                "base_chain": list(record.base_chain),
+                "compact": record.compact,
+                "gather_entries": [list(e) for e in record.gather_entries],
+                "cas": record.cas,
+                "terminate": record.terminate,
+                "state": record.state,
+                "error": record.error,
+                "committed_at": record.committed_at,
+            },
+        )
+
     # -- dispatch ------------------------------------------------------------
 
     def dispatch(self, record: StagingRecord) -> None:
@@ -256,6 +297,7 @@ class StagingCoordinator:
         else:
             st.since_full += 1
             st.chain_dirs.append(record.ref.path)
+        self._persist_record(record)
         st.queue.put(record)
         if not st.worker_started:
             st.worker_started = True
@@ -306,6 +348,7 @@ class StagingCoordinator:
         record.state = STAGE_FAILED
         record.error = self._ABORT_ERROR
         st.failed_dirs.add(record.ref.path)
+        self._persist_record(record)
         if not record.done.fired:
             record.done.fire(record.state)
         if not self.hnp.proc.alive:
@@ -446,6 +489,7 @@ class StagingCoordinator:
             # be walking job.snapshots.
             if job is not None and not st.aborted and job.state != JobState.FAILED:
                 job.snapshots.append(record.ref)
+            self._persist_record(record)
             log.info(
                 "job %d interval %d committed to stable storage (%s, %d bytes)",
                 record.jobid, record.interval, record.kind, record.bytes_moved,
@@ -464,6 +508,7 @@ class StagingCoordinator:
             record.error = error
             st.failed_dirs.add(record.ref.path)
             st.force_full = True
+            self._persist_record(record)
             log.warning(
                 "job %d interval %d failed to stage: %s",
                 record.jobid, record.interval, error,
@@ -693,6 +738,243 @@ class StagingCoordinator:
             )
         except (VFSError, NetworkError):
             pass
+        return None
+
+    # -- HNP failover rehydration -------------------------------------------------
+
+    def rehydrate(self, table: dict) -> SimGen:
+        """Rebuild the staging pipeline from the durable store.
+
+        Returns ``(restaged, lost, adopted)``: in-flight STAGING
+        intervals re-dispatched through the normal worker, STAGING
+        intervals that could not be rebuilt (source node gone, local
+        snapshots unreadable — failed durably, never silently dropped),
+        and settled records adopted as bookkeeping.  COMMITTED
+        intervals are **never re-shipped**: adoption only reinstates
+        the record and the ``job.snapshots`` entry; the bytes already
+        on stable storage are the source of truth.  Re-dispatch itself
+        is idempotent — the gather skips entries whose ``metadata.json``
+        already landed, and CAS staging re-negotiates against the
+        store's current contents — so an interval half-staged by the
+        dead HNP finishes instead of doubling.
+        """
+        restaged = lost = adopted = 0
+        records = sorted(
+            table.values(),
+            key=lambda v: (int(v["jobid"]), int(v["interval"])),
+        )
+        for value in records:
+            jobid = int(value["jobid"])
+            interval = int(value["interval"])
+            st = self._state(jobid)
+            # Delta-chain planning state died with the old HNP; the
+            # next checkpoint of every rehydrated job is forced full.
+            st.force_full = True
+            if st.last_interval is None or interval > st.last_interval:
+                st.last_interval = interval
+            job = self.hnp.universe.jobs.get(jobid)
+            if job is not None and job.next_interval <= interval:
+                job.next_interval = interval + 1
+            if value.get("state") in (STAGE_COMMITTED, STAGE_FAILED):
+                self._adopt_settled(st, value, job)
+                adopted += 1
+            else:
+                ok = yield from self._restage(st, value)
+                if ok:
+                    restaged += 1
+                else:
+                    lost += 1
+        return restaged, lost, adopted
+
+    def _stub_meta(self, jobid: int, interval: int) -> GlobalSnapshotMeta:
+        """Placeholder metadata for records whose real file is elsewhere.
+
+        Adopted/failed records need a meta object structurally, but the
+        on-disk ``metadata.json`` written by the previous incarnation
+        stays authoritative — the stub is never written over it.
+        """
+        return GlobalSnapshotMeta(
+            jobid=jobid, interval=interval, n_procs=0,
+            sim_time=0.0, app_name="",
+        )
+
+    def _adopt_settled(
+        self, st: _JobStaging, value: dict, job: "Job | None"
+    ) -> None:
+        """Reinstate a COMMITTED/FAILED record without touching bytes."""
+        interval = int(value["interval"])
+        ref = GlobalSnapshotRef(value["path"])
+        done = self._kernel.event(f"snapc.commit.job{st.jobid}.{interval}")
+        record = StagingRecord(
+            jobid=st.jobid,
+            interval=interval,
+            ref=ref,
+            meta=self._stub_meta(st.jobid, interval),
+            kind=value.get("kind", "full"),
+            base_chain=list(value.get("base_chain", [])),
+            compact=bool(value.get("compact", False)),
+            gather_entries=[],
+            terminate=bool(value.get("terminate", False)),
+            done=done,
+            enqueued_at=self._kernel.now,
+            cas=bool(value.get("cas", False)),
+            state=value["state"],
+            error=value.get("error"),
+            committed_at=value.get("committed_at"),
+        )
+        done.fire(record.state)
+        st.records[interval] = record
+        if record.state == STAGE_FAILED:
+            st.failed_dirs.add(ref.path)
+        elif job is not None and all(
+            s.path != ref.path for s in job.snapshots
+        ):
+            # Records arrive in interval order, so the newest committed
+            # interval lands last — exactly what restart picks.
+            job.snapshots.append(ref)
+
+    def _restage(self, st: _JobStaging, value: dict) -> SimGen:
+        """Re-dispatch one in-flight interval; True if it re-entered
+        the pipeline, False if it had to be failed durably."""
+        interval = int(value["interval"])
+        ref = GlobalSnapshotRef(value["path"])
+        stable = self.hnp.universe.cluster.stable_fs
+        try:
+            meta = yield from read_global_meta(stable, ref)
+        except (SnapshotError, VFSError) as exc:
+            yield from self._fail_restage(
+                st, value, f"global metadata lost across failover: {exc}"
+            )
+            return False
+        record = StagingRecord(
+            jobid=st.jobid,
+            interval=interval,
+            ref=ref,
+            meta=meta,
+            kind=value.get("kind", meta.kind),
+            base_chain=list(value.get("base_chain", [])),
+            compact=bool(value.get("compact", False)),
+            gather_entries=[
+                tuple(e) for e in value.get("gather_entries", [])
+            ],
+            terminate=bool(value.get("terminate", False)),
+            done=self._kernel.event(
+                f"snapc.commit.job{st.jobid}.{interval}"
+            ),
+            enqueued_at=self._kernel.now,
+            cas=bool(value.get("cas", False)),
+        )
+        if record.cas:
+            error = yield from self._rebuild_manifests(record, meta)
+            if error is not None:
+                yield from self._fail_restage(st, value, error, meta=meta)
+                return False
+        yield from self.acquire_slot(st.jobid)
+        self.dispatch(record)
+        log.info(
+            "job %d interval %d re-dispatched after HNP failover",
+            st.jobid, interval,
+        )
+        return True
+
+    def _fail_restage(
+        self,
+        st: _JobStaging,
+        value: dict,
+        error: str,
+        meta: GlobalSnapshotMeta | None = None,
+    ) -> SimGen:
+        """Fail an unrecoverable in-flight interval, durably.
+
+        Writes ``staging.state = failed`` into the interval's global
+        metadata so an explicit ``ompi-restart`` never picks it up — a
+        stub is written only when the real metadata was unreadable
+        (readable metadata from the previous incarnation is updated,
+        never clobbered with an empty stub).
+        """
+        interval = int(value["interval"])
+        ref = GlobalSnapshotRef(value["path"])
+        if meta is None:
+            meta = self._stub_meta(st.jobid, interval)
+        meta.staging = {
+            "state": STAGE_FAILED,
+            "committed_sim_time": None,
+            "error": error,
+        }
+        done = self._kernel.event(f"snapc.commit.job{st.jobid}.{interval}")
+        record = StagingRecord(
+            jobid=st.jobid,
+            interval=interval,
+            ref=ref,
+            meta=meta,
+            kind=value.get("kind", "full"),
+            base_chain=list(value.get("base_chain", [])),
+            compact=bool(value.get("compact", False)),
+            gather_entries=[],
+            terminate=bool(value.get("terminate", False)),
+            done=done,
+            enqueued_at=self._kernel.now,
+            cas=bool(value.get("cas", False)),
+            state=STAGE_FAILED,
+            error=error,
+        )
+        done.fire(record.state)
+        st.records[interval] = record
+        st.failed_dirs.add(ref.path)
+        st.force_full = True
+        self._persist_record(record)
+        try:
+            yield from self._write_meta(record)
+        except (VFSError, NetworkError):
+            pass
+        log.warning(
+            "job %d interval %d lost across HNP failover: %s",
+            st.jobid, interval, error,
+        )
+        return None
+
+    def _rebuild_manifests(
+        self, record: StagingRecord, meta: GlobalSnapshotMeta
+    ) -> SimGen:
+        """Recover a CAS interval's rank manifests from the source
+        nodes' local snapshot metadata; returns an error or None.
+
+        The capture-side manifests lived only in the dead HNP's heap,
+        but each rank's local ``metadata.json`` records the same chunk
+        geometry (digests, chunk size, present set), so the ship
+        negotiation can restart from the nodes that still hold bytes.
+        """
+        ranks = sorted(meta.locals)
+        if len(ranks) != len(record.gather_entries):
+            return (
+                f"persisted record lists {len(record.gather_entries)} "
+                f"gather entries for {len(ranks)} ranks"
+            )
+        for rank, (node_name, src, _dst) in zip(
+            ranks, record.gather_entries
+        ):
+            try:
+                node = self.hnp.universe.cluster.node(node_name)
+            except KeyError:
+                return f"source node {node_name} unknown"
+            if not node.up or node.local_fs is None:
+                return f"source node {node_name} is down"
+            try:
+                local = yield from read_local_meta(
+                    node.local_fs,
+                    LocalSnapshotRef(node.local_fs.name, src),
+                )
+            except (SnapshotError, VFSError) as exc:
+                return f"local snapshot on {node_name} unreadable: {exc}"
+            record.rank_manifests[rank] = chunkstore.ChunkManifest(
+                kind=local.kind,
+                chunk_bytes=local.chunk_bytes,
+                total_bytes=local.total_bytes,
+                hashes=list(local.chunk_hashes),
+                present=list(local.present_chunks),
+                base_interval=local.base_interval,
+                interval=local.interval,
+            )
         return None
 
     # -- retirement / garbage collection -----------------------------------------

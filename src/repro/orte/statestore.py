@@ -1,0 +1,373 @@
+"""Durable control-plane state store (write-ahead, crash-consistent).
+
+The paper's global coordinator keeps everything that matters — the job
+table, recovery lineages, the staging queue — in mpirun's memory, so
+the HNP's node is the one machine whose death kills the universe.
+Skjellum & Schafer's critique of C/R libraries applies to the C/R
+runtime itself: the recovery machinery must survive its own failures.
+This module externalizes the control plane the way arXiv:1906.05020
+externalizes runtime state, so a re-elected HNP can rebuild it.
+
+Design: a journaled key/value store on stable storage, one JSON record
+per mutation::
+
+    <root>/base.json              compacted snapshot of every table
+    <root>/wal/<seq>.json         one record: {seq, table, key, value, sha}
+
+Writes are *ordered*, not synchronous: :meth:`StateStore.put` updates
+the in-memory tables immediately and appends the record to a FIFO the
+writer thread drains in sequence order through the VFS (whose writes
+are atomic-at-close, the fsync analogue).  ``sha`` is a content hash
+over ``(seq, table, key, value)`` via the CAS digest helper, so replay
+detects torn or corrupted records instead of trusting them.  Replay
+applies the newest intact ``base.json`` (a torn base falls back to the
+WAL alone), then every WAL record in sequence order up to the first
+record that fails its hash or fails to parse — the torn suffix is
+discarded, exactly like a database WAL.  Sequence *gaps* are legal and
+do not stop replay: an HNP dying with unwritten appends queued leaves
+a hole where :meth:`drop_pending` discarded them.
+
+Compaction folds the WAL into ``base.json`` once it grows past
+``statestore_wal_max_records``, and only at a quiet moment (no pending
+appends), so the base always reflects exactly the records it replaces.
+A crash between the base write and the WAL removal is safe: replay
+ignores WAL records whose seq the base already covers.
+
+The writer thread lives in the *current* HNP process (re-attached per
+incarnation via :meth:`attach`), so it dies with the HNP and the next
+incarnation's :meth:`replay` sees only what actually reached stable
+storage.  With failover disabled the universe carries a
+:class:`NullStateStore`, which performs no I/O and posts no kernel
+events — default-configuration traces stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.simenv.kernel import Delay, SimGen, WaitEvent
+from repro.util.errors import VFSError
+from repro.util.logging import get_logger
+from repro.vfs import path as vpath
+from repro.vfs.cas import chunk_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orte.universe import Universe
+    from repro.simenv.kernel import SimEvent
+    from repro.simenv.process import SimProcess
+
+log = get_logger("orte.statestore")
+
+DEFAULT_ROOT = "/universe/statestore"
+BASE_FILE = "base.json"
+WAL_DIR = "wal"
+#: pseudo-table naming the base snapshot in its own hash
+_BASE_TABLE = "__base__"
+
+
+def _record_sha(seq: int, table: str, key: str, value: Any) -> str:
+    """Torn-write detector: content hash of one record's payload."""
+    blob = json.dumps([seq, table, key, value], sort_keys=True)
+    return chunk_digest(blob.encode())
+
+
+class StateStore:
+    """Write-ahead control-plane store on the cluster's stable storage."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        universe: "Universe",
+        root: str = DEFAULT_ROOT,
+        wal_max_records: int = 256,
+        retry_s: float = 0.05,
+    ):
+        self.universe = universe
+        self.kernel = universe.kernel
+        self.fs = universe.cluster.stable_fs
+        self.root = vpath.normalize(root)
+        self.wal_max_records = max(1, int(wal_max_records))
+        self.retry_s = max(1e-6, float(retry_s))
+        self._wal_root = vpath.join(self.root, WAL_DIR)
+        self._base_path = vpath.join(self.root, BASE_FILE)
+        self.fs.mkdir(self._wal_root)
+        #: the live view: table name -> {key: value}
+        self.tables: dict[str, dict[str, Any]] = {}
+        #: records accepted but not yet durable: (seq, serialized bytes)
+        self._pending: deque[tuple[int, bytes]] = deque()
+        #: flush waiters: (target seq, event)
+        self._flush_waiters: list[tuple[int, "SimEvent"]] = []
+        self._wake: "SimEvent | None" = None
+        self._next_seq = 0
+        self._written_seq = -1
+        self._base_seq = -1
+        # counters (tests, meta-reports)
+        self.appended = 0
+        self.compactions = 0
+        self.dropped = 0
+
+    # -- paths ----------------------------------------------------------------
+
+    def _wal_path(self, seq: int) -> str:
+        return vpath.join(self._wal_root, f"{seq:08d}.json")
+
+    def _wal_entries(self) -> list[tuple[int, str]]:
+        entries = []
+        for path in self.fs.list_tree(self._wal_root):
+            name = path.rsplit("/", 1)[-1]
+            if not name.endswith(".json"):
+                continue
+            try:
+                entries.append((int(name[: -len(".json")]), path))
+            except ValueError:
+                continue
+        entries.sort()
+        return entries
+
+    # -- mutation -------------------------------------------------------------
+
+    def put(self, table: str, key: str, value: Any) -> None:
+        """Record ``tables[table][key] = value``; durable in order.
+
+        Synchronous (callable from handlers and from outside the sim):
+        the in-memory view updates now, the WAL append is queued for
+        the writer thread.  *value* must be JSON-serializable; it is
+        serialized here, so later caller-side mutation cannot change
+        what lands on disk.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self.tables.setdefault(table, {})[key] = value
+        record = {
+            "seq": seq,
+            "table": table,
+            "key": key,
+            "value": value,
+            "sha": _record_sha(seq, table, key, value),
+        }
+        data = json.dumps(record, sort_keys=True).encode()
+        self._pending.append((seq, data))
+        if self._wake is not None and not self._wake.fired:
+            self._wake.fire(None)
+
+    def flush(self) -> SimGen:
+        """Generator: block until every put so far is on stable storage."""
+        if not self._pending:
+            return None
+        event = self.kernel.event("statestore.flush")
+        self._flush_waiters.append((self._pending[-1][0], event))
+        yield WaitEvent(event)
+        return None
+
+    def drop_pending(self) -> int:
+        """Discard queued-but-unwritten appends (HNP death).
+
+        Called synchronously by the election path *before* the new HNP
+        attaches its writer: the dead incarnation's un-durable appends
+        must not be written by the successor as if they had happened.
+        Their seqs become permanent WAL gaps, which replay tolerates.
+        The in-memory tables are not rewound here — the successor's
+        :meth:`replay` rebuilds them from what is actually on disk.
+        """
+        count = len(self._pending)
+        self._pending.clear()
+        self._flush_waiters.clear()
+        self.dropped += count
+        return count
+
+    # -- the writer ------------------------------------------------------------
+
+    def attach(self, proc: "SimProcess") -> None:
+        """Start this incarnation's writer thread inside *proc*."""
+        proc.spawn_thread(
+            self._writer_loop(), name="statestore-writer", daemon=True
+        )
+
+    def _writer_loop(self) -> SimGen:
+        while True:
+            if not self._pending:
+                self._wake = self.kernel.event("statestore.wake")
+                yield WaitEvent(self._wake)
+                continue
+            seq, data = self._pending[0]
+            yield from self._write_record(seq, data)
+            # Same synchronous segment as the write completing: a kill
+            # can never land between "durable" and "dequeued".
+            self._pending.popleft()
+            self._written_seq = seq
+            self.appended += 1
+            self._fire_flush_waiters()
+            if (
+                not self._pending
+                and self._written_seq - self._base_seq >= self.wal_max_records
+            ):
+                yield from self._compact()
+
+    def _write_record(self, seq: int, data: bytes) -> SimGen:
+        span = self.kernel.tracer.begin(
+            "statestore.append", cat="statestore", seq=seq, bytes=len(data)
+        )
+        path = self._wal_path(seq)
+        retries = 0
+        while True:
+            try:
+                yield from self.fs.write(path, data)
+                break
+            except VFSError:
+                # Stable storage is in an injected fault window; the
+                # record is not allowed to be lost, so pace and retry
+                # until the window closes.
+                retries += 1
+                yield Delay(self.retry_s)
+        span.end(retries=retries)
+        return None
+
+    def _fire_flush_waiters(self) -> None:
+        matured = [w for w in self._flush_waiters if w[0] <= self._written_seq]
+        if not matured:
+            return
+        self._flush_waiters = [
+            w for w in self._flush_waiters if w[0] > self._written_seq
+        ]
+        for _seq, event in matured:
+            if not event.fired:
+                event.fire(None)
+
+    def _compact(self) -> SimGen:
+        """Fold the WAL into ``base.json`` (quiet moments only).
+
+        The caller guarantees no appends are pending, so the in-memory
+        tables are exactly the state the written WAL describes.  A
+        failed base write just postpones compaction; a crash after the
+        base write but before the WAL removal leaves stale records that
+        replay ignores (their seq is covered by the base).
+        """
+        span = self.kernel.tracer.begin(
+            "statestore.compact", cat="statestore", seq=self._written_seq
+        )
+        doc = {
+            "seq": self._written_seq,
+            "tables": self.tables,
+            "sha": _record_sha(
+                self._written_seq, _BASE_TABLE, "", self.tables
+            ),
+        }
+        data = json.dumps(doc, sort_keys=True).encode()
+        try:
+            yield from self.fs.write(self._base_path, data)
+        except VFSError as exc:
+            span.end(ok=False, error=str(exc))
+            return None
+        try:
+            yield from self.fs.remove_tree(self._wal_root)
+        except VFSError:
+            pass
+        self.fs.mkdir(self._wal_root)
+        self._base_seq = self._written_seq
+        self.compactions += 1
+        span.end(ok=True)
+        return None
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self) -> SimGen:
+        """Generator: rebuild the tables from stable storage.
+
+        Returns the replayed ``{table: {key: value}}`` mapping (also
+        installed as :attr:`tables`).  Torn records — a hash mismatch
+        or unparsable JSON — end the replay at that point: everything
+        after a torn record is untrusted, exactly like a torn WAL
+        suffix.  Missing seqs are skipped over (dropped appends).
+        """
+        span = self.kernel.tracer.begin("statestore.replay", cat="statestore")
+        tables: dict[str, dict[str, Any]] = {}
+        base_seq = -1
+        if self.fs.exists(self._base_path):
+            try:
+                raw = yield from self.fs.read(self._base_path)
+                doc = json.loads(raw.decode())
+                if doc.get("sha") == _record_sha(
+                    doc["seq"], _BASE_TABLE, "", doc["tables"]
+                ):
+                    tables = doc["tables"]
+                    base_seq = int(doc["seq"])
+                else:
+                    log.warning("statestore base is torn; replaying WAL only")
+            except (VFSError, ValueError, KeyError, TypeError):
+                log.warning("statestore base unreadable; replaying WAL only")
+        applied = 0
+        torn = 0
+        last = base_seq
+        for seq, path in self._wal_entries():
+            if seq <= base_seq:
+                continue  # compacted away; a stale record is harmless
+            try:
+                raw = yield from self.fs.read(path)
+                doc = json.loads(raw.decode())
+            except (VFSError, ValueError):
+                torn = 1
+                break
+            if doc.get("seq") != seq or doc.get("sha") != _record_sha(
+                seq, doc.get("table"), doc.get("key"), doc.get("value")
+            ):
+                torn = 1
+                break
+            tables.setdefault(doc["table"], {})[doc["key"]] = doc["value"]
+            last = seq
+            applied += 1
+        self.tables = tables
+        self._written_seq = last
+        self._base_seq = base_seq
+        # Never rewind the in-memory counter: un-durable seqs that were
+        # dropped must not be re-minted for different records.
+        self._next_seq = max(self._next_seq, last + 1)
+        span.end(applied=applied, last_seq=last, torn=torn)
+        return tables
+
+
+class NullStateStore:
+    """Store used when failover is off: no I/O, no kernel events.
+
+    The determinism suite compares default-configuration runs event by
+    event, so the disabled store must not even post wake events — its
+    generators complete without a single yield.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.tables: dict[str, dict[str, Any]] = {}
+
+    def attach(self, proc: "SimProcess") -> None:
+        return None
+
+    def put(self, table: str, key: str, value: Any) -> None:
+        return None
+
+    def drop_pending(self) -> int:
+        return 0
+
+    def flush(self) -> SimGen:
+        return None
+        yield  # pragma: no cover - unreachable; makes flush a generator
+
+    def replay(self) -> SimGen:
+        return {}
+        yield  # pragma: no cover - unreachable; makes replay a generator
+
+
+def build_statestore(universe: "Universe") -> "StateStore | NullStateStore":
+    """The universe's store per its MCA params (Null when disabled)."""
+    params = universe.params
+    failover = params.get_bool("orte_hnp_failover", False)
+    if not params.get_bool("statestore_enabled", failover):
+        return NullStateStore()
+    return StateStore(
+        universe,
+        root=params.get("statestore_root", DEFAULT_ROOT),
+        wal_max_records=params.get_int("statestore_wal_max_records", 256),
+        retry_s=params.get_float("statestore_retry_s", 0.05),
+    )

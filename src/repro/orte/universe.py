@@ -28,7 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.orte.hnp import HNP
     from repro.orte.orted import Orted
     from repro.orte.oob import RML
+    from repro.orte.snapc.admission import StagingAdmission
     from repro.simenv.cluster import Cluster
+    from repro.simenv.kernel import SimEvent
     from repro.simenv.process import SimProcess
 
 log = get_logger("orte.universe")
@@ -47,6 +49,7 @@ class Universe:
         make_registry: Callable[[], "FrameworkRegistry"] | None = None,
     ):
         from repro.mca.registry import default_registry
+        from repro.orte.statestore import build_statestore
 
         self.cluster = cluster
         self.kernel = cluster.kernel
@@ -61,6 +64,28 @@ class Universe:
         self.directory: dict[ProcessName, "SimProcess"] = {}
         self.hnp: "HNP | None" = None
         self.orteds: dict[str, "Orted"] = {}
+        #: orteds elect a successor HNP on HNP-node death
+        self.failover_enabled = self.params.get_bool("orte_hnp_failover", False)
+        #: failover-window probe pacing (the healthy path posts no timers)
+        self.heartbeat_s = max(
+            0.01, self.params.get_float("orte_hnp_heartbeat_s", 0.25)
+        )
+        #: durable control-plane store (Null unless failover/statestore on)
+        self.statestore = build_statestore(self)
+        #: failed jobid -> recovery outcome event; lives here rather than
+        #: in the ErrMgr so campaign threads waiting on an outcome survive
+        #: the HNP (and its ErrMgr) being replaced by failover
+        self.recovery_outcomes: dict[int, "SimEvent"] = {}
+        #: universe-wide staging admission gate (also HNP-independent:
+        #: replacing it at failover would let a token-limited universe
+        #: briefly double its staging capacity)
+        self.staging_admission: "StagingAdmission | None" = None
+        #: injected failures observed while no live HNP existed; the
+        #: next incarnation drains them during rehydration
+        self._orphaned_failures: list[str] = []
+        #: completed HNP elections
+        self.failovers = 0
+        self._failover_in_flight = False
         self._boot()
 
     # -- boot ------------------------------------------------------------------
@@ -118,6 +143,9 @@ class Universe:
         job = Job(self.new_jobid(), app, np, merged)
         job.done_event = self.kernel.event(f"job{job.jobid}.done")
         self.jobs[job.jobid] = job
+        # Persist the jobid floor so a failed-over HNP never re-mints a
+        # jobid that already names snapshot directories on disk.
+        self.statestore.put("universe", "jobid_floor", job.jobid)
         return job
 
     def submit(self, app: AppSpec, np: int, params: MCAParams | None = None) -> Job:
@@ -132,6 +160,83 @@ class Universe:
             return self.jobs[jobid]
         except KeyError:
             raise LaunchError(f"no job {jobid}") from None
+
+    # -- HNP failover ------------------------------------------------------------
+
+    @property
+    def failover_in_flight(self) -> bool:
+        """True from election until the new HNP finishes rehydrating."""
+        return self._failover_in_flight
+
+    def electable_orteds(self) -> list["Orted"]:
+        """Surviving orteds in election order (lowest daemon vpid wins).
+
+        Every orted watcher computes this list independently at the
+        same simulated instant, so they all agree on the winner without
+        exchanging a single vote message — the deterministic election
+        rule of the control plane.
+        """
+        return sorted(
+            (o for o in self.orteds.values() if o.node.up and o.proc.alive),
+            key=lambda o: o.proc.name.vpid,
+        )
+
+    def note_orphaned_failure(self, description: str) -> None:
+        """Buffer an injected failure seen while no HNP was alive."""
+        self._orphaned_failures.append(description)
+
+    def drain_orphaned_failures(self) -> list[str]:
+        out, self._orphaned_failures = self._orphaned_failures, []
+        return out
+
+    def restore_jobid_floor(self, floor: int) -> None:
+        """Never allocate at or below *floor* (or any live jobid)."""
+        highest = max([floor, *self.jobs.keys()]) if self.jobs else floor
+        self._next_jobid = itertools.count(highest + 1)
+
+    def elect_hnp(self, orted: "Orted") -> bool:
+        """Install *orted*'s node as the new HNP; returns False if an
+        election already ran (or the incumbent turned out alive).
+
+        Synchronous up to the point the new HNP process exists and is
+        registered — a second watcher resuming at the same instant sees
+        ``failover_in_flight`` and stands down.  The rehydration itself
+        (store replay, staging rebuild, job re-attach) runs in a thread
+        of the new HNP process, so a failover *of the failover* is just
+        another HNP death: the flag clears in its ``finally`` and the
+        next election proceeds.
+        """
+        from repro.orte.hnp import HNP
+        from repro.simenv.kernel import SimGen
+        from repro.simenv.process import SimProcess
+
+        if self._failover_in_flight:
+            return False
+        if self.hnp is not None and self.hnp.proc.alive:
+            return False
+        self._failover_in_flight = True
+        # The dead incarnation's un-durable appends must not survive it.
+        self.statestore.drop_pending()
+        proc = SimProcess(
+            orted.node, hnp_name(), label=f"mpirun@{orted.node.name}"
+        )
+        self.register(proc)
+        hnp = HNP(self, proc, recovered=True)
+        self.hnp = hnp
+        self.failovers += 1
+        log.warning(
+            "HNP failover: orted on %s elected as the new mpirun",
+            orted.node.name,
+        )
+
+        def rehydrate() -> SimGen:
+            try:
+                yield from hnp.rehydrate()
+            finally:
+                self._failover_in_flight = False
+
+        proc.spawn_thread(rehydrate(), name="hnp-rehydrate", daemon=True)
+        return True
 
     # -- convenience -------------------------------------------------------------
 

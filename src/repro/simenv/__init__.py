@@ -28,6 +28,7 @@ from repro.simenv.cluster import Cluster, ClusterSpec
 from repro.simenv.rng import RngStream
 from repro.simenv.failure import FailureInjector, FailureSchedule
 from repro.simenv.campaign import (
+    FAULT_HNP_CRASH,
     CampaignReport,
     CampaignSpec,
     FaultCampaign,
@@ -40,6 +41,7 @@ __all__ = [
     "CampaignReport",
     "build_campaign_report",
     "CampaignSpec",
+    "FAULT_HNP_CRASH",
     "FaultCampaign",
     "FaultSpec",
     "run_campaign",

@@ -17,8 +17,10 @@ walk-back, skip-set, and staging-retry paths are exercised by injected
 faults.
 
 Victims are drawn at *fire time* from the nodes still up (minus the
-HNP's node, which hosts the simulated mpirun and is not recoverable),
-so a cascading campaign never re-kills a dead node.  Everything is
+current HNP's node — hostile campaigns can still attack the control
+plane through the dedicated ``hnp_crash`` fault, legal only when HNP
+failover is enabled and a surviving orted could win the election), so
+a cascading campaign never re-kills a dead node.  Everything is
 deterministic given the cluster seed and the campaign's RNG stream:
 the stream is persistent on the cluster, so successive inter-arrivals
 are i.i.d. draws, not the same first sample replayed.
@@ -41,6 +43,7 @@ FAULT_STABLE_WRITE_FAIL = "stable_write_fail"
 FAULT_STABLE_SLOW = "stable_slow"
 FAULT_NET_PARTITION = "net_partition"
 FAULT_META_CORRUPT = "meta_corrupt"
+FAULT_HNP_CRASH = "hnp_crash"
 
 FAULT_KINDS = (
     FAULT_NODE_CRASH,
@@ -48,6 +51,7 @@ FAULT_KINDS = (
     FAULT_STABLE_SLOW,
     FAULT_NET_PARTITION,
     FAULT_META_CORRUPT,
+    FAULT_HNP_CRASH,
 )
 
 
@@ -134,8 +138,24 @@ class FaultCampaign:
         self.spec = spec
         self.failures: list[dict] = []
         self.stopped = False
-        hnp_node = universe.cluster.nodes[0].name
-        self._exclude = tuple(set(spec.exclude_nodes) | {hnp_node})
+        self._static_exclude = tuple(spec.exclude_nodes)
+
+    @property
+    def _exclude(self) -> tuple[str, ...]:
+        """Nodes shielded from ordinary crashes, *as of now*.
+
+        The control-plane node is resolved at fire time, not arm time:
+        after an HNP failover the newly elected HNP's node inherits the
+        protection (only the dedicated ``hnp_crash`` fault may target
+        it), and the old node is dead anyway.
+        """
+        universe = self.universe
+        hnp = universe.hnp
+        if hnp is not None and hnp.proc.alive:
+            hnp_node = hnp.proc.node.name
+        else:
+            hnp_node = universe.cluster.nodes[0].name
+        return tuple(set(self._static_exclude) | {hnp_node})
 
     def arm(self) -> None:
         self._schedule(max(0.0, self.spec.start_at))
@@ -170,10 +190,36 @@ class FaultCampaign:
             elif fault.kind == FAULT_NET_PARTITION:
                 if eligible:
                     out.append(fault)
+            elif fault.kind == FAULT_HNP_CRASH:
+                if self._hnp_crash_applicable():
+                    out.append(fault)
             else:
                 # storage and metadata faults need no victim node
                 out.append(fault)
         return out
+
+    def _hnp_crash_applicable(self) -> bool:
+        """A control-plane crash is legal only when failover can win.
+
+        Needs failover enabled, a live HNP, at least one electable
+        orted on a *different* up node (someone must be able to take
+        over), and enough survivors left after the crash.
+        """
+        universe = self.universe
+        if not universe.failover_enabled:
+            return False
+        hnp = universe.hnp
+        if hnp is None or not hnp.proc.alive:
+            return False
+        hnp_node = hnp.proc.node.name
+        if not any(
+            o.node.name != hnp_node for o in universe.electable_orteds()
+        ):
+            return False
+        survivors = [
+            n for n in universe.cluster.up_nodes if n.name != hnp_node
+        ]
+        return len(survivors) >= max(1, self.spec.min_survivors)
 
     def _inject(self, fault: FaultSpec, eligible: list[str]) -> dict | None:
         """Fire one fault; returns the failure record or None."""
@@ -201,6 +247,11 @@ class FaultCampaign:
             if victim_path is None:
                 return None
             return {"kind": fault.kind, "node": None, "path": victim_path}
+        if fault.kind == FAULT_HNP_CRASH:
+            victim = failures.crash_hnp_node_now(self.universe)
+            if victim is None:
+                return None
+            return {"kind": fault.kind, "node": victim}
         return None  # pragma: no cover
 
     def _fire(self) -> None:
@@ -236,12 +287,15 @@ def follow_lineage(universe: "Universe", job: "Job") -> SimGen:
     """
     from repro.orte.job import JobState
 
-    errmgr = universe.hnp.errmgr
     current = job
     while True:
         state = yield from current.wait()
         if state != JobState.FAILED:
             return current
+        # Re-resolve the error manager every episode: an HNP failover
+        # replaces it mid-campaign (the outcome events themselves live
+        # on the universe, so none are lost across the swap).
+        errmgr = universe.hnp.errmgr
         successor = yield WaitEvent(errmgr.recovery_outcome(current.jobid))
         if successor is None:
             return current

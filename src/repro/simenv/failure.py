@@ -74,6 +74,22 @@ class FailureInjector:
         proc.kill(ProcessFailedError(f"{proc.label} killed by injector"))
         self._notify(f"process:{proc.label}")
 
+    def crash_hnp_node_now(self, universe) -> str | None:
+        """Crash the node hosting the universe's live HNP.
+
+        The control-plane fault: the whole node goes down (mpirun, the
+        local orted, and any application ranks placed there), so the
+        surviving orteds' failover machinery — election, state-store
+        rehydration — is what must carry recovery.  Returns the victim
+        node's name, or None when no live HNP exists to target.
+        """
+        hnp = universe.hnp
+        if hnp is None or not hnp.proc.alive:
+            return None
+        victim = hnp.proc.node.name
+        self.crash_node_now(victim)
+        return victim
+
     # -- storage / network / metadata faults ----------------------------------
 
     def fail_stable_writes_now(self, duration_s: float) -> None:

@@ -80,9 +80,13 @@ class ToolHandle:
 def _tool_session(
     universe: "Universe", tag: str, payload: dict, reply_tag: str, handle: ToolHandle
 ) -> SimGen:
-    proc = SimProcess(
-        universe.cluster.nodes[0], universe.new_tool_name(), label="tool"
+    # Tools connect from the first node still up: after an HNP-node
+    # crash and failover, node 0 may be dead while the universe lives on.
+    host = next(
+        (node for node in universe.cluster.nodes if node.up),
+        universe.cluster.nodes[0],
     )
+    proc = SimProcess(host, universe.new_tool_name(), label="tool")
     universe.register(proc)
     rml = RML(universe, proc)
     try:

@@ -211,11 +211,75 @@ def _main_trace_fleet(argv) -> int:
     return 0 if all(cell.ok for cell in report.cells) else 1
 
 
+def _main_trace_failover(argv) -> int:
+    """``ompi-trace failover``: crash the HNP's node mid-campaign and
+    print the control-plane failover cost breakdown."""
+    from repro.obs.report import FAILOVER_PHASES, render_phase_report
+    from repro.simenv.campaign import (
+        FAULT_HNP_CRASH,
+        CampaignSpec,
+        FaultSpec,
+        run_campaign,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="ompi-trace failover",
+        description="Run a checkpointing job under an hnp_crash fault "
+        "campaign and report the per-phase failover costs "
+        "(state-store appends, election, rehydration).",
+    )
+    parser.add_argument("--np", type=int, default=4, help="number of ranks")
+    parser.add_argument("--nodes", type=int, default=6, help="cluster size")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the raw trace JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    universe = _universe(
+        args.nodes,
+        obs_trace_enabled="1",
+        orte_hnp_failover="1",
+        orte_errmgr_autorecover="1",
+        snapc_full_checkpoint_every="0.15",
+    )
+    job = ompi_run(
+        universe,
+        "churn",
+        args.np,
+        args={"loops": 150, "compute_s": 0.01, "state_bytes": 1 << 20},
+        wait=False,
+    )
+    spec = CampaignSpec(
+        mtbf_s=0.3,
+        max_failures=1,
+        start_at=0.3,
+        faults=(FaultSpec(kind=FAULT_HNP_CRASH),),
+    )
+    report = run_campaign(universe, job, spec)
+    trace = universe.kernel.tracer.to_dict()
+    print(
+        f"campaign: completed={report.completed} "
+        f"failovers={universe.failovers} faults={report.fault_counts}"
+    )
+    print(
+        render_phase_report(
+            trace,
+            title="HNP failover per-phase breakdown",
+            phases=FAILOVER_PHASES,
+        )
+    )
+    if args.json:
+        universe.kernel.tracer.write_json(args.json)
+        print(f"trace written to {args.json}")
+    return 0 if report.completed and universe.failovers >= 1 else 1
+
+
 def main_trace(argv=None) -> int:
     """ompi-trace: run + checkpoint with the span recorder on, then
     print the per-phase cost breakdown (and optionally dump the JSON).
     ``ompi-trace fleet ...`` instead runs a whole campaign fleet and
-    prints its cross-run meta-report."""
+    prints its cross-run meta-report; ``ompi-trace failover ...`` runs
+    an HNP-crash campaign and prints the failover phase table."""
     import sys
 
     from repro.obs.report import render_phase_report
@@ -223,6 +287,8 @@ def main_trace(argv=None) -> int:
     arg_list = list(sys.argv[1:] if argv is None else argv)
     if arg_list[:1] == ["fleet"]:
         return _main_trace_fleet(arg_list[1:])
+    if arg_list[:1] == ["failover"]:
+        return _main_trace_failover(arg_list[1:])
 
     parser = _common_parser(
         "Run a job, checkpoint it with tracing enabled, and report "

@@ -117,6 +117,48 @@ def test_same_seed_mixed_fault_campaign_runs_identically():
     assert report_a == report_b
 
 
+def _failover_campaign_run() -> tuple[list, float, dict, int]:
+    """An HNP-crash campaign under the durable control plane — the
+    election, store replay, and rehydration paths are all replayed."""
+    universe = make_universe(
+        N_NODES,
+        {
+            "orte_errmgr_autorecover": "1",
+            "orte_hnp_failover": "1",
+            "snapc_full_checkpoint_every": "0.15",
+        },
+    )
+    kernel = universe.kernel
+    events: list = []
+    kernel.trace = lambda t, name, ev: events.append((round(t, 12), name, ev))
+    job = ompi_run(universe, "churn", NP, args=CHURN, wait=False)
+    spec = CampaignSpec(
+        mtbf_s=0.3,
+        max_failures=1,
+        start_at=0.3,
+        faults=(FaultSpec("hnp_crash"),),
+    )
+    report = run_campaign(universe, job, spec)
+    return events, kernel.now, report.to_dict(), universe.failovers
+
+
+def test_same_seed_failover_campaign_runs_identically():
+    """HNP failover is deterministic end to end: same seed, same crash
+    instant, same election winner, same rehydration — two runs are
+    bitwise identical down to the kernel event sequence."""
+    events_a, clock_a, report_a, failovers_a = _failover_campaign_run()
+    events_b, clock_b, report_b, failovers_b = _failover_campaign_run()
+
+    assert report_a["completed"], report_a
+    assert failovers_a == 1
+    assert len(events_a) > 100
+
+    assert clock_a == clock_b
+    assert events_a == events_b
+    assert report_a == report_b
+    assert failovers_a == failovers_b
+
+
 def test_fleet_parallel_run_is_byte_identical_to_serial():
     """Sharding a fleet grid across worker processes must not change a
     single simulation outcome: per-cell seeds are a pure function of
